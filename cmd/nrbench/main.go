@@ -1,0 +1,81 @@
+// Command nrbench regenerates the paper's evaluation: every figure and
+// table of §8, as throughput series printed in the same units the paper
+// plots (operations per microsecond).
+//
+// Usage:
+//
+//	nrbench -list                 # show all experiment ids
+//	nrbench -fig 5b               # one experiment
+//	nrbench -all                  # everything (slow)
+//	nrbench -fig 7c -ops 4000     # more ops per thread = smoother series
+//
+// Thread-sweep experiments run on the deterministic NUMA simulator
+// (internal/sim); the memory tables measure the real implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/asplos17/nr/internal/bench"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "experiment id (e.g. 5b, 7c, 11a, 14, size)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		ops   = flag.Int("ops", 0, "operations per simulated thread (default 1500)")
+	)
+	flag.Parse()
+
+	figs := bench.Figures()
+	if *list {
+		ids := make([]string, 0, len(figs))
+		for id := range figs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-6s %s\n", id, figs[id].Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{OpsPerThread: *ops}
+	runOne := func(id string) {
+		f, ok := figs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nrbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		series := f.Run(cfg)
+		fmt.Printf("=== Figure %s: %s ===\n", f.ID, f.Title)
+		bench.Print(os.Stdout, f.XLabel, series)
+		if s := bench.Summarize(series); s != "" {
+			fmt.Println(s)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		ids := make([]string, 0, len(figs))
+		for id := range figs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			runOne(id)
+		}
+	case *figID != "":
+		runOne(*figID)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

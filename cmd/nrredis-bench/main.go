@@ -1,0 +1,174 @@
+// Command nrredis-bench is a redis-benchmark-style load generator for
+// nrredis (or any RESP server): it drives the §8.3 macro-benchmark over the
+// wire — a single sorted set, ZRANK reads and ZINCRBY updates in a YCSB
+// mix — and reports throughput plus a latency distribution.
+//
+// Usage:
+//
+//	nrredis-bench -addr 127.0.0.1:6380 -clients 16 -requests 100000 -update 0.1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/asplos17/nr/internal/histogram"
+	"github.com/asplos17/nr/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6380", "server address")
+		clients  = flag.Int("clients", 16, "concurrent connections")
+		requests = flag.Int("requests", 100000, "total requests")
+		update   = flag.Float64("update", 0.1, "fraction of ZINCRBY updates (rest ZRANK)")
+		items    = flag.Int("items", 10000, "sorted-set size to preload")
+		key      = flag.String("key", "bench:zset", "sorted-set key")
+	)
+	flag.Parse()
+	if *clients < 1 || *requests < 1 || *update < 0 || *update > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	members := make([]string, *items)
+	for i := range members {
+		members[i] = fmt.Sprintf("item:%06d", i)
+	}
+
+	// Preload on one connection.
+	pre, err := dial(*addr)
+	if err != nil {
+		log.Fatalf("nrredis-bench: connect: %v", err)
+	}
+	for i, m := range members {
+		if _, err := pre.do("ZADD", *key, fmt.Sprint(i), m); err != nil {
+			log.Fatalf("nrredis-bench: preload: %v", err)
+		}
+	}
+	pre.close()
+	log.Printf("preloaded %d members into %s", *items, *key)
+
+	perClient := *requests / *clients
+	hists := make([]*histogram.Histogram, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, *clients)
+	for c := 0; c < *clients; c++ {
+		hists[c] = histogram.New()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := dial(*addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.close()
+			rng := workload.NewRNG(uint64(c)*0x9e3779b97f4a7c15 + 1)
+			updPermille := int(*update * 1000)
+			for i := 0; i < perClient; i++ {
+				m := members[rng.Intn(len(members))]
+				t0 := time.Now()
+				if rng.Intn(1000) < updPermille {
+					_, err = conn.do("ZINCRBY", *key, "1", m)
+				} else {
+					_, err = conn.do("ZRANK", *key, m)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				hists[c].Record(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		log.Fatalf("nrredis-bench: %v", err)
+	}
+
+	total := histogram.New()
+	for _, h := range hists {
+		total.Merge(h)
+	}
+	done := total.Count()
+	fmt.Printf("requests: %d in %s\n", done, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f req/s (%.3f ops/us)\n",
+		float64(done)/elapsed.Seconds(), float64(done)/float64(elapsed.Nanoseconds())*1000)
+	fmt.Printf("latency: %s\n", total.Summary())
+}
+
+// client is a minimal blocking RESP client.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (c *client) close() { c.conn.Close() }
+
+// do issues one command and returns the raw first reply line (bulk bodies
+// are consumed but not returned; the benchmark only needs completion).
+func (c *client) do(args ...string) (string, error) {
+	fmt.Fprintf(c.w, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(c.w, "$%d\r\n%s\r\n", len(a), a)
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.readReply()
+}
+
+func (c *client) readReply() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return "", fmt.Errorf("empty reply")
+	}
+	switch line[0] {
+	case '+', ':':
+		return line, nil
+	case '-':
+		return "", fmt.Errorf("server error: %s", line[1:])
+	case '$':
+		if line == "$-1" {
+			return line, nil
+		}
+		if _, err := c.r.ReadString('\n'); err != nil {
+			return "", err
+		}
+		return line, nil
+	case '*':
+		var n int
+		fmt.Sscanf(line, "*%d", &n)
+		for i := 0; i < n; i++ {
+			if _, err := c.readReply(); err != nil {
+				return "", err
+			}
+		}
+		return line, nil
+	}
+	return "", fmt.Errorf("unexpected reply %q", line)
+}

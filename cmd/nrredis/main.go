@@ -1,0 +1,61 @@
+// Command nrredis serves a Redis-compatible subset (strings + sorted sets)
+// over RESP, with the entire keyspace made concurrent by Node Replication
+// or one of the paper's baseline methods.
+//
+// Usage:
+//
+//	nrredis -addr :6380 -method nr -workers 8 -nodes 4 -cores 14 -smt 2
+//
+// Then: redis-cli -p 6380 ZADD board 10 alice / ZRANK board alice / ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"github.com/asplos17/nr/internal/miniredis"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
+		method  = flag.String("method", "nr", "concurrency method: nr, sl, rwl, fc, fc+")
+		workers = flag.Int("workers", 8, "worker threads servicing requests")
+		nodes   = flag.Int("nodes", 4, "NUMA nodes in the software topology")
+		cores   = flag.Int("cores", 14, "cores per node")
+		smt     = flag.Int("smt", 2, "hardware threads per core")
+		seed    = flag.Uint64("seed", 1, "replica determinism seed")
+	)
+	flag.Parse()
+
+	topo := topology.New(*nodes, *cores, *smt)
+	if *workers > topo.TotalThreads() {
+		log.Fatalf("nrredis: %d workers exceed topology capacity %d", *workers, topo.TotalThreads())
+	}
+	shared, err := miniredis.NewShared(*method, topo, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := miniredis.NewServer(shared, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "nrredis: shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("nrredis: method=%s workers=%d topology=%s", *method, *workers, topo)
+	if err := srv.Serve(*addr, func(a net.Addr) { log.Printf("nrredis: listening on %s", a) }); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package collections
+
+import (
+	"sync"
+	"testing"
+
+	nr "github.com/asplos17/nr"
+	"github.com/asplos17/nr/internal/linearize"
+)
+
+// TestMapLinearizable records short concurrent histories through the Map
+// facade and verifies them against the dictionary model.
+func TestMapLinearizable(t *testing.T) {
+	for round := 0; round < 40; round++ {
+		m, err := NewMap[int64, uint64](nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const threads, per = 4, 8
+		rec := linearize.NewRecorder(threads)
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			h, err := m.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(g int, h *MapHandle[int64, uint64]) {
+				defer wg.Done()
+				cl := rec.Client(g)
+				rng := uint64(round*31+g)*2654435761 + 1
+				for i := 0; i < per; i++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					key := int64(rng % 3)
+					switch rng % 3 {
+					case 0:
+						call := cl.Invoke()
+						ok := h.Put(key, rng)
+						cl.Complete(call, linearize.DictIn{Kind: 'i', Key: key, Val: rng},
+							linearize.DictOut{Val: rng, OK: ok})
+					case 1:
+						call := cl.Invoke()
+						ok := h.Delete(key)
+						cl.Complete(call, linearize.DictIn{Kind: 'd', Key: key},
+							linearize.DictOut{OK: ok})
+					case 2:
+						call := cl.Invoke()
+						v, ok := h.Get(key)
+						cl.Complete(call, linearize.DictIn{Kind: 'l', Key: key},
+							linearize.DictOut{Val: v, OK: ok})
+					}
+				}
+			}(g, h)
+		}
+		wg.Wait()
+		if !linearize.Check(linearize.DictModel(), rec.History()) {
+			t.Fatalf("round %d: Map history not linearizable", round)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package nr_test
+
+import (
+	"fmt"
+
+	nr "github.com/asplos17/nr"
+)
+
+// register is a tiny sequential structure: a single read/write cell.
+type register struct{ v int }
+
+type regOp struct {
+	write bool
+	val   int
+}
+
+func (r *register) Execute(op regOp) int {
+	if op.write {
+		r.v = op.val
+	}
+	return r.v
+}
+func (r *register) IsReadOnly(op regOp) bool { return !op.write }
+
+// Example shows the three steps of using NR: wrap a sequential structure,
+// register the goroutine, execute linearizable operations.
+func Example() {
+	inst, err := nr.New(func() nr.Sequential[regOp, int] { return &register{} }, nr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	h, err := inst.Register()
+	if err != nil {
+		panic(err)
+	}
+	h.Execute(regOp{write: true, val: 42})
+	fmt.Println(h.Execute(regOp{}))
+	// Output: 42
+}
+
+// ExampleConfig shows a custom software topology: two NUMA nodes with four
+// hardware threads each, and a smaller log.
+func ExampleConfig() {
+	inst, err := nr.New(func() nr.Sequential[regOp, int] { return &register{} },
+		nr.Config{Nodes: 2, CoresPerNode: 2, SMT: 2, LogEntries: 4096})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(inst.Replicas(), "replicas")
+	h, _ := inst.Register()
+	fmt.Println("registered on node", h.Node())
+	// Output:
+	// 2 replicas
+	// registered on node 0
+}
+
+// ExampleInstance_Inspect shows how to examine a quiesced replica.
+func ExampleInstance_Inspect() {
+	inst, _ := nr.New(func() nr.Sequential[regOp, int] { return &register{} },
+		nr.Config{Nodes: 2, CoresPerNode: 1, LogEntries: 256})
+	h, _ := inst.Register()
+	h.Execute(regOp{write: true, val: 7})
+	inst.Quiesce()
+	inst.Inspect(1, func(s nr.Sequential[regOp, int]) {
+		fmt.Println("replica 1 sees", s.(*register).v)
+	})
+	// Output: replica 1 sees 7
+}

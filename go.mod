@@ -1,0 +1,3 @@
+module github.com/asplos17/nr
+
+go 1.24

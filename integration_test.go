@@ -1,0 +1,194 @@
+package nr_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	nr "github.com/asplos17/nr"
+	"github.com/asplos17/nr/internal/ds"
+	"github.com/asplos17/nr/internal/linearize"
+	"github.com/asplos17/nr/internal/miniredis"
+	"github.com/asplos17/nr/internal/workload"
+)
+
+// TestIntegration_LinearizabilityThroughPublicAPI records real concurrent
+// histories through the public nr API and verifies them with the checker —
+// the repository's end-to-end validation of the paper's central claim.
+func TestIntegration_LinearizabilityThroughPublicAPI(t *testing.T) {
+	newCtr := func() nr.Sequential[cOp, uint64] { return &apiCounter{} }
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		inst, err := nr.New(newCtr, nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const threads, per = 4, 8
+		rec := linearize.NewRecorder(threads)
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			h, err := inst.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(g int, h *nr.Handle[cOp, uint64]) {
+				defer wg.Done()
+				cl := rec.Client(g)
+				rng := workload.NewRNG(uint64(round*100 + g + 1))
+				for i := 0; i < per; i++ {
+					inc := rng.Intn(2) == 0
+					call := cl.Invoke()
+					out := h.Execute(cOp{inc: inc})
+					cl.Complete(call, linearize.RegisterIn{Inc: inc}, out)
+				}
+			}(g, h)
+		}
+		wg.Wait()
+		if !linearize.Check(linearize.CounterModel(), rec.History()) {
+			t.Fatalf("round %d: history not linearizable", round)
+		}
+	}
+}
+
+type cOp struct{ inc bool }
+
+type apiCounter struct{ v uint64 }
+
+func (c *apiCounter) Execute(op cOp) uint64 {
+	if op.inc {
+		c.v++
+	}
+	return c.v
+}
+func (c *apiCounter) IsReadOnly(op cOp) bool { return !op.inc }
+
+// TestIntegration_EveryShippedStructureUnderNR runs each sequential
+// structure the repository ships through the public API concurrently and
+// checks replica agreement.
+func TestIntegration_EveryShippedStructureUnderNR(t *testing.T) {
+	cfg := nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 512}
+
+	t.Run("skiplist-pq", func(t *testing.T) {
+		inst, err := nr.New(func() nr.Sequential[ds.PQOp, ds.PQResult] {
+			return ds.NewSkipListPQ(3)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveAndCompare(t, inst, func(rng *workload.RNG) ds.PQOp {
+			switch rng.Intn(3) {
+			case 0:
+				return ds.PQOp{Kind: ds.PQInsert, Key: int64(rng.Intn(5000))}
+			case 1:
+				return ds.PQOp{Kind: ds.PQDeleteMin}
+			}
+			return ds.PQOp{Kind: ds.PQFindMin}
+		}, func(s nr.Sequential[ds.PQOp, ds.PQResult]) int { return s.(*ds.SkipListPQ).Len() })
+	})
+
+	t.Run("pairing-heap", func(t *testing.T) {
+		inst, err := nr.New(func() nr.Sequential[ds.PQOp, ds.PQResult] {
+			return ds.NewHeapPQ()
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveAndCompare(t, inst, func(rng *workload.RNG) ds.PQOp {
+			if rng.Intn(2) == 0 {
+				return ds.PQOp{Kind: ds.PQInsert, Key: int64(rng.Intn(5000))}
+			}
+			return ds.PQOp{Kind: ds.PQDeleteMin}
+		}, func(s nr.Sequential[ds.PQOp, ds.PQResult]) int { return s.(*ds.HeapPQ).Len() })
+	})
+
+	t.Run("stack", func(t *testing.T) {
+		inst, err := nr.New(func() nr.Sequential[ds.StackOp, ds.StackResult] {
+			return ds.NewSeqStack(64)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveAndCompare(t, inst, func(rng *workload.RNG) ds.StackOp {
+			if rng.Intn(2) == 0 {
+				return ds.StackOp{Kind: ds.StackPush, Value: int64(rng.Next())}
+			}
+			return ds.StackOp{Kind: ds.StackPop}
+		}, func(s nr.Sequential[ds.StackOp, ds.StackResult]) int { return s.(*ds.SeqStack).Len() })
+	})
+
+	t.Run("sorted-set", func(t *testing.T) {
+		inst, err := nr.New(func() nr.Sequential[ds.ZOp, ds.ZResult] {
+			return ds.NewSeqSortedSet(16, 11)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveAndCompare(t, inst, func(rng *workload.RNG) ds.ZOp {
+			m := fmt.Sprintf("m%d", rng.Intn(40))
+			switch rng.Intn(4) {
+			case 0:
+				return ds.ZOp{Kind: ds.ZAdd, Member: m, Score: float64(rng.Intn(100))}
+			case 1:
+				return ds.ZOp{Kind: ds.ZIncrBy, Member: m, Score: 1}
+			case 2:
+				return ds.ZOp{Kind: ds.ZRem, Member: m}
+			}
+			return ds.ZOp{Kind: ds.ZRank, Member: m}
+		}, func(s nr.Sequential[ds.ZOp, ds.ZResult]) int { return s.(*ds.SeqSortedSet).Inner().Len() })
+	})
+
+	t.Run("miniredis-store", func(t *testing.T) {
+		inst, err := nr.New(func() nr.Sequential[miniredis.StoreOp, miniredis.StoreResult] {
+			return miniredis.NewStore(13)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveAndCompare(t, inst, func(rng *workload.RNG) miniredis.StoreOp {
+			m := fmt.Sprintf("m%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				return miniredis.StoreOp{Cmd: miniredis.CmdZIncrBy, Key: "z", Member: m, Score: 1}
+			case 1:
+				return miniredis.StoreOp{Cmd: miniredis.CmdZRank, Key: "z", Member: m}
+			}
+			return miniredis.StoreOp{Cmd: miniredis.CmdZCard, Key: "z"}
+		}, func(s nr.Sequential[miniredis.StoreOp, miniredis.StoreResult]) int {
+			return s.(*miniredis.Store).Len()
+		})
+	})
+}
+
+// driveAndCompare runs 4 goroutines of ops, then asserts every replica
+// reaches the same size.
+func driveAndCompare[O, R any](t *testing.T, inst *nr.Instance[O, R],
+	gen func(*workload.RNG) O, size func(nr.Sequential[O, R]) int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		h, err := inst.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, h *nr.Handle[O, R]) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(g + 1))
+			for i := 0; i < 1200; i++ {
+				h.Execute(gen(rng))
+			}
+		}(g, h)
+	}
+	wg.Wait()
+	inst.Quiesce()
+	sizes := make([]int, inst.Replicas())
+	for n := 0; n < inst.Replicas(); n++ {
+		inst.Inspect(n, func(s nr.Sequential[O, R]) { sizes[n] = size(s) })
+	}
+	for n := 1; n < len(sizes); n++ {
+		if sizes[n] != sizes[0] {
+			t.Fatalf("replica sizes diverged: %v", sizes)
+		}
+	}
+}

@@ -1,0 +1,716 @@
+// Package core implements Node Replication (NR), the paper's black-box
+// transformation from a sequential data structure to a linearizable,
+// NUMA-aware concurrent one (§4-§5).
+//
+// One replica of the sequential structure lives on each NUMA node. Update
+// operations flow through a shared log (internal/log): within a node, flat
+// combining batches the node's outstanding updates behind a combiner lock;
+// across nodes, combiners contend only on the log-tail CAS. Read-only
+// operations never touch the log tail — they wait until the local replica
+// has absorbed every operation completed before the read began
+// (completedTail), then run against the local replica under a distributed
+// readers-writer lock (internal/rwlock).
+//
+// Two deliberate additions over the paper's pseudo-code, both needed for
+// correctness under Go's cooperative scheduling:
+//
+//   - Inactive-replica helping. The paper notes (§6) that a node whose
+//     threads stop executing operations also stops consuming the log, which
+//     eventually blocks every appender, and suggests a dedicated combiner
+//     per node. Here an appender that finds the log full first drains it
+//     into its own replica, then helps lagging replicas catch up — bounded
+//     by completedTail, which guarantees it can never race an in-flight
+//     combiner's application of its own batch (a combiner advances its
+//     replica's localTail past its batch before advancing completedTail).
+//
+//   - Response tags. Log entries carry (node, slot) so that whichever
+//     thread replays an entry into its *home* replica delivers the response
+//     to the waiting thread. The normal combining path never needs this —
+//     the combiner answers its batch from the node-local combining slots,
+//     exactly as in §5.2 — but the DisableCombining ablation (every thread
+//     appends for itself) relies on it: another same-node updater may
+//     legally replay your entry before you reacquire the replica lock.
+//
+// Every technique the paper ablates in Fig. 13/14 is a knob on Options, so
+// the ablation experiment and the tests can flip them individually.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asplos17/nr/internal/log"
+	"github.com/asplos17/nr/internal/rwlock"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// Sequential is the black-box contract a data structure must satisfy (§4).
+// Execute must be deterministic, must not block, and must produce side
+// effects only on the structure. IsReadOnly must be a pure function of op.
+type Sequential[O, R any] interface {
+	Execute(op O) R
+	IsReadOnly(op O) bool
+}
+
+// Options configures an NR instance.
+type Options struct {
+	// Topology describes the simulated NUMA machine. Zero value means the
+	// Intel testbed of the paper (4×14×2).
+	Topology topology.Topology
+
+	// LogEntries sets the shared log size. The paper fixes 1M entries (§7);
+	// the default here is 64K, which the paper's sizing argument (§5.6)
+	// equally satisfies for our batch sizes while staying test-friendly.
+	LogEntries int
+
+	// MinBatch is the batch size below which a combiner keeps the replica
+	// fresh instead of appending a small batch (§5.2). Default 1 (off).
+	MinBatch int
+
+	// Ablation knobs (Fig. 13). All default to false = full NR.
+
+	// DisableCombining makes every thread write to the log itself, using
+	// the readers-writer lock for all intra-node synchronization (#1).
+	DisableCombining bool
+	// ReadWaitLogTail makes readers wait for logTail instead of
+	// completedTail (#2, disables the §5.3/§5.4 read optimization).
+	ReadWaitLogTail bool
+	// CombinedReplicaLock protects the replica with the combiner lock,
+	// serializing readers against the entire combining cycle (#3).
+	CombinedReplicaLock bool
+	// SerialReplicaUpdate makes a combiner wait until completedTail reaches
+	// its batch before updating its replica, so replicas update in series
+	// rather than in parallel (#4).
+	SerialReplicaUpdate bool
+	// CentralizedReaderLock swaps the distributed readers-writer lock for a
+	// standard one (#5).
+	CentralizedReaderLock bool
+
+	// DedicatedCombiners starts one background goroutine per node that
+	// keeps the node's replica fresh even when its threads are idle — the
+	// optional optimization of §4 and the paper's own suggested fix for
+	// the inactive-replica problem (§6). Instances with dedicated
+	// combiners must be Closed.
+	DedicatedCombiners bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Topology == (topology.Topology{}) {
+		o.Topology = topology.Intel4x14x2()
+	}
+	if o.LogEntries == 0 {
+		o.LogEntries = 1 << 16
+	}
+	if o.MinBatch <= 0 {
+		o.MinBatch = 1
+	}
+}
+
+// Stats counts internal events; useful for tests and the ablation study.
+type Stats struct {
+	Combines        uint64 // combining rounds executed
+	CombinedOps     uint64 // update ops appended via combining
+	ReaderRefreshes uint64 // reads that refreshed the replica themselves
+	HelpedEntries   uint64 // log entries applied to other nodes' replicas
+	ReadOps         uint64 // read-only ops executed
+	UpdateOps       uint64 // update ops executed
+}
+
+// slot state machine values.
+const (
+	slotEmpty uint32 = iota
+	slotPosted
+	slotTaken
+	slotDone
+)
+
+// slot is one thread's mailbox to its node's combiner (§5.2). The op is
+// published with a release store on state; the response returns the same
+// way on a separate word, mirroring the paper's cache-line discipline.
+type slot[O, R any] struct {
+	op    O
+	state atomic.Uint32
+	_     [60]byte
+	resp  R
+}
+
+// entry is what NR stores in the shared log: the operation plus response
+// routing for the DisableCombining path (slot < 0 means no delivery).
+type entry[O any] struct {
+	op   O
+	node int32
+	slot int32
+}
+
+// replica is one node's copy of the structure plus its synchronization.
+type replica[O, R any] struct {
+	id           int32
+	ds           Sequential[O, R]
+	localTail    *atomic.Uint64
+	combinerLock rwlock.SpinMutex
+	// refresher elects a single reader to bring the replica up to date when
+	// no combiner is active, so stale readers don't convoy on the writer
+	// lock (an engineering refinement over Algorithm 1, which lets every
+	// stale reader acquire the writer lock in turn).
+	refresher  rwlock.SpinMutex
+	rw         rwlock.Lock
+	slots      []slot[O, R]
+	registered int // slots handed out on this node
+}
+
+// Instance is a concurrent, NUMA-aware version of a sequential structure.
+type Instance[O, R any] struct {
+	opts     Options
+	log      *log.Log[entry[O]]
+	replicas []*replica[O, R]
+
+	mu    sync.Mutex // guards registration
+	place *topology.Placement
+
+	combines        atomic.Uint64
+	combinedOps     atomic.Uint64
+	readerRefreshes atomic.Uint64
+	helpedEntries   atomic.Uint64
+	readOps         atomic.Uint64
+	updateOps       atomic.Uint64
+
+	stop   chan struct{}
+	stopWG sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds an NR instance. create is called once per node to build that
+// node's replica; all replicas must start identical (same seed, same
+// contents).
+func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R], error) {
+	if create == nil {
+		return nil, errors.New("core: create function is nil")
+	}
+	opts.fillDefaults()
+	if err := opts.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	maxBatch := opts.Topology.ThreadsPerNode()
+	l, err := log.New[entry[O]](opts.LogEntries, maxBatch)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance[O, R]{
+		opts:  opts,
+		log:   l,
+		place: topology.NewFillPlacement(opts.Topology),
+	}
+	for n := 0; n < opts.Topology.Nodes(); n++ {
+		r := &replica[O, R]{
+			id:        int32(n),
+			ds:        create(),
+			localTail: l.RegisterReplica(),
+			slots:     make([]slot[O, R], maxBatch),
+		}
+		if opts.CentralizedReaderLock {
+			r.rw = rwlock.NewCentralized()
+		} else {
+			r.rw = rwlock.NewDistributed(maxBatch)
+		}
+		inst.replicas = append(inst.replicas, r)
+	}
+	if opts.DedicatedCombiners {
+		inst.stop = make(chan struct{})
+		for _, r := range inst.replicas {
+			inst.stopWG.Add(1)
+			go inst.dedicatedCombiner(r)
+		}
+	}
+	return inst, nil
+}
+
+// dedicatedCombiner keeps one replica fresh in the background (§4, §6). It
+// takes the node's combiner lock so it can never race an active combiner's
+// batch, then replays completed entries like any combining round would.
+func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
+	defer i.stopWG.Done()
+	for {
+		select {
+		case <-i.stop:
+			return
+		default:
+		}
+		worked := false
+		if to := i.log.Completed(); to > r.localTail.Load() {
+			if r.combinerLock.TryLock() {
+				if to := i.log.Completed(); to > r.localTail.Load() {
+					i.refreshOwn(r, to, true)
+					worked = true
+				}
+				r.combinerLock.Unlock()
+			}
+		}
+		if !worked {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops the dedicated combiners, if any. The instance remains usable
+// for operations; Close only ends the background refreshing. It is
+// idempotent.
+func (i *Instance[O, R]) Close() {
+	if i.stop == nil || !i.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(i.stop)
+	i.stopWG.Wait()
+}
+
+// Handle binds a goroutine ("thread") to a node, a combiner slot, and a
+// reader-lock slot. A Handle must not be used concurrently.
+type Handle[O, R any] struct {
+	inst   *Instance[O, R]
+	node   int
+	slot   int
+	thread int
+}
+
+// Register binds the caller to the next thread position under the paper's
+// fill placement (§8), skipping positions on nodes already filled by
+// explicit RegisterOnNode calls. It fails once every hardware thread is
+// taken.
+func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	total := i.opts.Topology.TotalThreads()
+	for i.place.Assigned() < total {
+		thread, node := i.place.Next()
+		r := i.replicas[node]
+		if r.registered >= len(r.slots) {
+			continue // node filled explicitly; try the next position
+		}
+		s := r.registered
+		r.registered++
+		return &Handle[O, R]{inst: i, node: node, slot: s, thread: thread}, nil
+	}
+	return nil, fmt.Errorf("core: all %d hardware threads registered", total)
+}
+
+// RegisterOnNode binds the caller to an explicit node, for callers that
+// manage placement themselves.
+func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if node < 0 || node >= len(i.replicas) {
+		return nil, fmt.Errorf("core: node %d out of range [0,%d)", node, len(i.replicas))
+	}
+	r := i.replicas[node]
+	if r.registered >= len(r.slots) {
+		return nil, fmt.Errorf("core: node %d has no free hardware threads", node)
+	}
+	s := r.registered
+	r.registered++
+	return &Handle[O, R]{inst: i, node: node, slot: s, thread: -1}, nil
+}
+
+// Node returns the NUMA node this handle is bound to.
+func (h *Handle[O, R]) Node() int { return h.node }
+
+// Thread returns the logical thread id (-1 for explicit-node registration).
+func (h *Handle[O, R]) Thread() int { return h.thread }
+
+// FakeUpdater is optionally implemented by sequential structures some of
+// whose update operations frequently turn out to be no-ops (§6 "fake update
+// operations": a remove of a non-existent key, an insert of a present one).
+// TryReadOnly must behave like a read: no side effects. When it reports
+// done=true, its result is the operation's result and NR served it on the
+// cheap read path; otherwise NR falls back to the normal update path, which
+// re-evaluates the operation from scratch.
+type FakeUpdater[O, R any] interface {
+	TryReadOnly(op O) (resp R, done bool)
+}
+
+// Execute runs op with linearizable semantics (ExecuteConcurrent in §4).
+func (h *Handle[O, R]) Execute(op O) R {
+	r := h.inst.replicas[h.node]
+	if r.ds.IsReadOnly(op) {
+		return h.inst.readOnly(h, op)
+	}
+	if fu, ok := r.ds.(FakeUpdater[O, R]); ok {
+		// First attempt the operation as a read (§6). Linearizable: the
+		// no-op outcome is justified by the replica state at the read
+		// point; a false return falls through to the full update, which
+		// re-executes the operation atomically.
+		if resp, done := h.inst.readOnlyVia(h, func() (R, bool) { return fu.TryReadOnly(op) }); done {
+			return resp
+		}
+	}
+	h.inst.updateOps.Add(1)
+	if h.inst.opts.DisableCombining {
+		return h.inst.updateUncombined(h, op)
+	}
+	return h.inst.combine(h, op)
+}
+
+// replicaWriteLock takes the lock that protects r against readers and other
+// replayers: the combiner lock under ablation #3, the readers-writer lock
+// otherwise.
+func (i *Instance[O, R]) replicaWriteLock(r *replica[O, R]) {
+	if i.opts.CombinedReplicaLock {
+		r.combinerLock.Lock()
+	} else {
+		r.rw.Lock()
+	}
+}
+
+func (i *Instance[O, R]) replicaTryWriteLock(r *replica[O, R]) bool {
+	if i.opts.CombinedReplicaLock {
+		return r.combinerLock.TryLock()
+	}
+	return r.rw.TryLock()
+}
+
+func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
+	if i.opts.CombinedReplicaLock {
+		r.combinerLock.Unlock()
+	} else {
+		r.rw.Unlock()
+	}
+}
+
+// applyEntry executes one log entry against r and, if the entry originated
+// on r's node with a response slot, delivers the response.
+func (i *Instance[O, R]) applyEntry(r *replica[O, R], e entry[O]) {
+	res := r.ds.Execute(e.op)
+	if e.slot >= 0 && e.node == r.id {
+		s := &r.slots[e.slot]
+		s.resp = res
+		s.state.Store(slotDone)
+	}
+}
+
+// refreshTo replays filled log entries into the replica up to 'to',
+// stopping early at a hole — a reader may proceed when it finds an empty
+// entry (§5.3). Caller holds r's write-side lock.
+func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64) {
+	for idx := r.localTail.Load(); idx < to; idx++ {
+		e, ok := i.log.Get(idx)
+		if !ok {
+			return
+		}
+		i.applyEntry(r, e)
+		r.localTail.Store(idx + 1)
+	}
+}
+
+// combine is Algorithm 1's Combine: post the op, then either become the
+// combiner or wait for a response.
+func (i *Instance[O, R]) combine(h *Handle[O, R], op O) R {
+	r := i.replicas[h.node]
+	s := &r.slots[h.slot]
+	s.op = op
+	s.state.Store(slotPosted)
+	for {
+		if st := s.state.Load(); st == slotDone {
+			resp := s.resp
+			s.state.Store(slotEmpty)
+			return resp
+		}
+		if r.combinerLock.TryLock() {
+			if s.state.Load() != slotDone {
+				i.runCombiner(r)
+			}
+			r.combinerLock.Unlock()
+			// runCombiner served every posted slot, including ours.
+			resp := s.resp
+			s.state.Store(slotEmpty)
+			return resp
+		}
+		runtime.Gosched()
+	}
+}
+
+// runCombiner executes one combining round. The caller holds the combiner
+// lock; under ablation #3 that lock doubles as the replica lock.
+func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
+	// Collect the batch: every posted slot on this node (§5.2).
+	type taken struct {
+		s    *slot[O, R]
+		slot int32
+	}
+	var batch []taken
+	collect := func() {
+		for idx := range r.slots {
+			s := &r.slots[idx]
+			if s.state.Load() == slotPosted && s.state.CompareAndSwap(slotPosted, slotTaken) {
+				batch = append(batch, taken{s, int32(idx)})
+			}
+		}
+	}
+	collect()
+	// Small batches: keep the replica fresh instead of appending tiny
+	// batches (§5.2); bounded so a lone thread still makes progress.
+	for tries := 0; len(batch) < i.opts.MinBatch && tries < 3; tries++ {
+		if to := i.log.Completed(); to > r.localTail.Load() {
+			i.refreshOwn(r, to, true)
+		}
+		collect()
+	}
+	if len(batch) == 0 {
+		return
+	}
+	i.combines.Add(1)
+	i.combinedOps.Add(uint64(len(batch)))
+
+	// Append the batch: reserve with one CAS, then fill (§5.1). Entries
+	// carry (node, slot) tags so that if a helper replays them into this
+	// replica first, the helper delivers the responses.
+	start := i.reserveConsuming(r, len(batch), true)
+	for k, t := range batch {
+		i.log.Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot})
+	}
+	end := start + uint64(len(batch))
+
+	if i.opts.SerialReplicaUpdate {
+		// Ablation #4: wait for the previous batch's combiner to finish
+		// updating its replica, serializing replica updates across nodes.
+		for i.log.Completed() < start {
+			runtime.Gosched()
+		}
+	}
+
+	if !i.opts.CombinedReplicaLock {
+		r.rw.Lock()
+	}
+	// Bring the replica up to date with everything before our batch,
+	// waiting out any holes (§5.1).
+	idx := r.localTail.Load()
+	for ; idx < start; idx++ {
+		i.applyEntry(r, i.log.WaitGet(idx))
+		r.localTail.Store(idx + 1)
+	}
+	if idx == start {
+		// Fast path (the paper's §5.2): apply our ops from the node-local
+		// combining slots rather than re-reading the log.
+		r.localTail.Store(end)
+		i.log.AdvanceCompleted(end)
+		for _, t := range batch {
+			t.s.resp = r.ds.Execute(t.s.op)
+			t.s.state.Store(slotDone)
+		}
+	} else {
+		// A helper replayed past our batch start while we were appending;
+		// finish through the log — tag delivery answers our batch slots.
+		for ; idx < end; idx++ {
+			i.applyEntry(r, i.log.WaitGet(idx))
+			r.localTail.Store(idx + 1)
+		}
+		i.log.AdvanceCompleted(end)
+	}
+	if !i.opts.CombinedReplicaLock {
+		r.rw.Unlock()
+	}
+}
+
+// updateUncombined is ablation #1: no flat combining — the thread appends
+// its own single-entry batch. The response arrives through the entry's
+// (node, slot) tag: either our own replay below delivers it, or a same-node
+// thread that replayed past our entry first already has.
+func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) R {
+	r := i.replicas[h.node]
+	s := &r.slots[h.slot]
+	s.state.Store(slotTaken) // awaiting response via log replay
+	start := i.reserveConsuming(r, 1, false)
+	i.log.Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot)})
+	if i.opts.SerialReplicaUpdate {
+		for i.log.Completed() < start {
+			runtime.Gosched()
+		}
+	}
+	i.replicaWriteLock(r)
+	for idx := r.localTail.Load(); idx <= start; idx++ {
+		i.applyEntry(r, i.log.WaitGet(idx))
+		r.localTail.Store(idx + 1)
+	}
+	i.log.AdvanceCompleted(start + 1)
+	i.replicaWriteUnlock(r)
+	// Delivery is guaranteed by now: whoever advanced localTail past our
+	// entry did so under the replica lock and wrote the response first.
+	if s.state.Load() != slotDone {
+		panic("core: uncombined update response not delivered")
+	}
+	resp := s.resp
+	s.state.Store(slotEmpty)
+	return resp
+}
+
+// refreshOwn refreshes r to 'to'. haveLock says the caller already holds
+// the lock protecting the replica (a combiner under ablation #3).
+func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLock bool) {
+	if i.opts.CombinedReplicaLock && haveCombinerLock {
+		i.refreshTo(r, to)
+		return
+	}
+	i.replicaWriteLock(r)
+	i.refreshTo(r, to)
+	i.replicaWriteUnlock(r)
+}
+
+// reserveConsuming reserves n log entries on behalf of r. When the log is
+// full, simply spinning would deadlock: the recycler needs *every* replica's
+// localTail to advance, including replicas on nodes whose threads are
+// currently inactive (§6). So a blocked appender (1) drains the log into its
+// own replica and (2) helps lagging replicas catch up to completedTail.
+func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool) uint64 {
+	for {
+		if start, ok := i.log.TryReserve(n); ok {
+			return start
+		}
+		// Drain into our own replica so our localTail is not the laggard.
+		if to := i.log.Tail(); to > r.localTail.Load() {
+			i.refreshOwn(r, to, haveCombinerLock)
+		}
+		// Help other replicas, bounded by completedTail (see package doc).
+		to := i.log.Completed()
+		for _, r2 := range i.replicas {
+			if r2 == r || r2.localTail.Load() >= to {
+				continue
+			}
+			if i.replicaTryWriteLock(r2) {
+				before := r2.localTail.Load()
+				i.refreshTo(r2, to)
+				i.helpedEntries.Add(r2.localTail.Load() - before)
+				i.replicaWriteUnlock(r2)
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// readOnly is Algorithm 1's ReadOnly (§5.3): wait until the local replica
+// reflects completedTail as of the start of the read, then read locally.
+func (i *Instance[O, R]) readOnly(h *Handle[O, R], op O) R {
+	r := i.replicas[h.node]
+	resp, _ := i.readOnlyVia(h, func() (R, bool) { return r.ds.Execute(op), true })
+	return resp
+}
+
+// readOnlyVia runs fn against a sufficiently fresh local replica under the
+// read-side lock, returning fn's result. fn must not modify the replica.
+func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, bool) {
+	i.readOps.Add(1)
+	r := i.replicas[h.node]
+	var readTail uint64
+	if i.opts.ReadWaitLogTail {
+		readTail = i.log.Tail() // ablation #2: block on local combiner holes
+	} else {
+		readTail = i.log.Completed()
+	}
+	if i.opts.CombinedReplicaLock {
+		// Ablation #3: the combiner lock protects the replica; readers
+		// serialize with the whole combining cycle.
+		r.combinerLock.Lock()
+		if r.localTail.Load() < readTail {
+			i.readerRefreshes.Add(1)
+			for r.localTail.Load() < readTail {
+				i.refreshTo(r, readTail)
+				runtime.Gosched()
+			}
+		}
+		resp, done := fn()
+		r.combinerLock.Unlock()
+		return resp, done
+	}
+	for r.localTail.Load() < readTail {
+		if r.combinerLock.Locked() {
+			// A combiner exists; it will advance the replica (§5.3).
+			runtime.Gosched()
+			continue
+		}
+		// No combiner: elect one reader to refresh the replica under the
+		// writer lock; the rest wait for localTail to advance.
+		if !r.refresher.TryLock() {
+			runtime.Gosched()
+			continue
+		}
+		r.rw.Lock()
+		if r.localTail.Load() < readTail {
+			i.readerRefreshes.Add(1)
+			i.refreshTo(r, readTail)
+		}
+		r.rw.Unlock()
+		r.refresher.Unlock()
+	}
+	r.rw.RLock(h.slot)
+	resp, done := fn()
+	r.rw.RUnlock(h.slot)
+	return resp, done
+}
+
+// Stats returns a snapshot of internal counters.
+func (i *Instance[O, R]) Stats() Stats {
+	return Stats{
+		Combines:        i.combines.Load(),
+		CombinedOps:     i.combinedOps.Load(),
+		ReaderRefreshes: i.readerRefreshes.Load(),
+		HelpedEntries:   i.helpedEntries.Load(),
+		ReadOps:         i.readOps.Load(),
+		UpdateOps:       i.updateOps.Load(),
+	}
+}
+
+// Replicas returns the number of per-node replicas.
+func (i *Instance[O, R]) Replicas() int { return len(i.replicas) }
+
+// LogTail exposes the log tail for tests and monitoring.
+func (i *Instance[O, R]) LogTail() uint64 { return i.log.Tail() }
+
+// LogMemoryBytes returns the shared log's memory footprint.
+func (i *Instance[O, R]) LogMemoryBytes() uint64 { return i.log.MemoryBytes() }
+
+// Sizer is optionally implemented by sequential structures that can report
+// their memory footprint; MemoryBytes sums it across replicas.
+type Sizer interface {
+	MemoryBytes() uint64
+}
+
+// MemoryBytes returns log bytes plus the sum of replica footprints for
+// structures implementing Sizer (used for the paper's memory tables).
+func (i *Instance[O, R]) MemoryBytes() uint64 {
+	total := i.log.MemoryBytes()
+	for _, r := range i.replicas {
+		if s, ok := r.ds.(Sizer); ok {
+			total += s.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// Quiesce brings every replica up to date with all completed operations.
+// It is a testing/maintenance aid (e.g. before inspecting replicas); the
+// algorithm itself never needs it.
+func (i *Instance[O, R]) Quiesce() {
+	to := i.log.Completed()
+	for _, r := range i.replicas {
+		i.replicaWriteLock(r)
+		for idx := r.localTail.Load(); idx < to; idx++ {
+			i.applyEntry(r, i.log.WaitGet(idx))
+			r.localTail.Store(idx + 1)
+		}
+		i.replicaWriteUnlock(r)
+	}
+}
+
+// InspectReplica runs fn against node's replica with the write lock held,
+// after quiescing that replica. Tests use it to compare replica states.
+func (i *Instance[O, R]) InspectReplica(node int, fn func(ds Sequential[O, R])) {
+	r := i.replicas[node]
+	to := i.log.Completed()
+	i.replicaWriteLock(r)
+	for idx := r.localTail.Load(); idx < to; idx++ {
+		i.applyEntry(r, i.log.WaitGet(idx))
+		r.localTail.Store(idx + 1)
+	}
+	fn(r.ds)
+	i.replicaWriteUnlock(r)
+}

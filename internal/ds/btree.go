@@ -1,0 +1,374 @@
+package ds
+
+// BTree is a sequential in-memory B-tree mapping int64 keys to uint64
+// values. It exists alongside SkipList to make the black-box point
+// concretely: NR turns either into the same concurrent dictionary, and the
+// dictionary benchmarks can swap implementations with one constructor
+// change (§4 — "requires no inner knowledge of the structure").
+//
+// The fanout is fixed at compile time; nodes hold [degree-1, 2*degree-1]
+// keys except the root.
+type BTree struct {
+	root   *btreeNode
+	length int
+}
+
+const btreeDegree = 16 // minimum degree t; max keys per node = 2t-1
+
+type btreeNode struct {
+	keys     []int64
+	vals     []uint64
+	children []*btreeNode // nil for leaves
+}
+
+// NewBTree returns an empty B-tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{}}
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.length }
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+func (n *btreeNode) full() bool { return len(n.keys) == 2*btreeDegree-1 }
+
+// search finds the position of key in n's keys: the index of the first key
+// >= key, and whether it equals key.
+func (n *btreeNode) search(key int64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key int64) (uint64, bool) {
+	n := t.root
+	for {
+		i, ok := n.search(key)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Contains reports whether key is present.
+func (t *BTree) Contains(key int64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Insert adds key→val, replacing any existing value; it reports whether the
+// key was newly inserted.
+func (t *BTree) Insert(key int64, val uint64) bool {
+	if t.root.full() {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	inserted := t.root.insertNonFull(key, val)
+	if inserted {
+		t.length++
+	}
+	return inserted
+}
+
+// splitChild splits n.children[i] (which must be full) around its median.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	midKey, midVal := child.keys[mid], child.vals[mid]
+
+	right := &btreeNode{
+		keys: append([]int64(nil), child.keys[mid+1:]...),
+		vals: append([]uint64(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = midVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(key int64, val uint64) bool {
+	for {
+		i, ok := n.search(key)
+		if ok {
+			n.vals[i] = val
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vals = append(n.vals, 0)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = val
+			return true
+		}
+		if n.children[i].full() {
+			n.splitChild(i)
+			if key == n.keys[i] {
+				n.vals[i] = val
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *BTree) Delete(key int64) bool {
+	if t.length == 0 {
+		return false
+	}
+	deleted := t.root.delete(key)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.length--
+	}
+	return deleted
+}
+
+// delete removes key from the subtree rooted at n, maintaining the
+// invariant that n has at least btreeDegree keys when descending (CLRS
+// B-TREE-DELETE).
+func (n *btreeNode) delete(key int64) bool {
+	i, ok := n.search(key)
+	if n.leaf() {
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	if ok {
+		// Key in internal node: replace with predecessor or successor, or
+		// merge children.
+		if len(n.children[i].keys) >= btreeDegree {
+			pk, pv := n.children[i].max()
+			n.keys[i], n.vals[i] = pk, pv
+			return n.children[i].delete(pk)
+		}
+		if len(n.children[i+1].keys) >= btreeDegree {
+			sk, sv := n.children[i+1].min()
+			n.keys[i], n.vals[i] = sk, sv
+			return n.children[i+1].delete(sk)
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(key)
+	}
+	// Key not here: descend into child i, topping it up first.
+	child := n.children[i]
+	if len(child.keys) < btreeDegree {
+		i = n.fill(i)
+		child = n.children[i]
+	}
+	return child.delete(key)
+}
+
+// fill ensures n.children[i] has at least btreeDegree keys by borrowing
+// from a sibling or merging; it returns the (possibly shifted) child index
+// to descend into.
+func (n *btreeNode) fill(i int) int {
+	if i > 0 && len(n.children[i-1].keys) >= btreeDegree {
+		// Borrow from the left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.keys = append(child.keys, 0)
+		copy(child.keys[1:], child.keys)
+		child.keys[0] = n.keys[i-1]
+		child.vals = append(child.vals, 0)
+		copy(child.vals[1:], child.vals)
+		child.vals[0] = n.vals[i-1]
+		n.keys[i-1] = left.keys[len(left.keys)-1]
+		n.vals[i-1] = left.vals[len(left.vals)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.vals = left.vals[:len(left.vals)-1]
+		if !child.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= btreeDegree {
+		// Borrow from the right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.keys = append(child.keys, n.keys[i])
+		child.vals = append(child.vals, n.vals[i])
+		n.keys[i] = right.keys[0]
+		n.vals[i] = right.vals[0]
+		right.keys = append(right.keys[:0], right.keys[1:]...)
+		right.vals = append(right.vals[:0], right.vals[1:]...)
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i == len(n.children)-1 {
+		i--
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges children i and i+1 around separator i.
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *btreeNode) min() (int64, uint64) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+func (n *btreeNode) max() (int64, uint64) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+// Ascend calls fn for each key in order until fn returns false.
+func (t *BTree) Ascend(fn func(key int64, val uint64) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *btreeNode) ascend(fn func(int64, uint64) bool) bool {
+	for i := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// checkInvariants validates B-tree structure; tests only.
+func (t *BTree) checkInvariants() bool {
+	ok, _, _, count := t.root.check(true)
+	return ok && count == t.length
+}
+
+func (n *btreeNode) check(isRoot bool) (ok bool, depth int, sorted bool, count int) {
+	if !isRoot && len(n.keys) < btreeDegree-1 {
+		return false, 0, false, 0
+	}
+	if len(n.keys) > 2*btreeDegree-1 {
+		return false, 0, false, 0
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return false, 0, false, 0
+		}
+	}
+	count = len(n.keys)
+	if n.leaf() {
+		return true, 0, true, count
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return false, 0, false, 0
+	}
+	childDepth := -1
+	for i, c := range n.children {
+		cok, d, _, ccount := c.check(false)
+		if !cok {
+			return false, 0, false, 0
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if d != childDepth {
+			return false, 0, false, 0 // unbalanced
+		}
+		count += ccount
+		// Separator ordering.
+		if i < len(n.keys) {
+			if len(c.keys) > 0 && c.keys[len(c.keys)-1] >= n.keys[i] {
+				return false, 0, false, 0
+			}
+		}
+		if i > 0 {
+			if len(c.keys) > 0 && c.keys[0] <= n.keys[i-1] {
+				return false, 0, false, 0
+			}
+		}
+	}
+	return true, childDepth + 1, true, count
+}
+
+// BTreeDict adapts BTree to the black-box dictionary contract, drop-in
+// compatible with SkipListDict.
+type BTreeDict struct {
+	t *BTree
+}
+
+// NewBTreeDict returns an empty B-tree dictionary.
+func NewBTreeDict() *BTreeDict { return &BTreeDict{t: NewBTree()} }
+
+// Len returns the number of keys.
+func (d *BTreeDict) Len() int { return d.t.Len() }
+
+// Execute applies op sequentially.
+func (d *BTreeDict) Execute(op DictOp) DictResult {
+	switch op.Kind {
+	case DictInsert:
+		return DictResult{Value: op.Value, OK: d.t.Insert(op.Key, op.Value)}
+	case DictDelete:
+		return DictResult{OK: d.t.Delete(op.Key)}
+	case DictLookup:
+		v, ok := d.t.Get(op.Key)
+		return DictResult{Value: v, OK: ok}
+	}
+	return DictResult{}
+}
+
+// IsReadOnly reports whether op is read-only.
+func (d *BTreeDict) IsReadOnly(op DictOp) bool { return IsReadOnlyDict(op) }

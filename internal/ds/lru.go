@@ -1,0 +1,197 @@
+package ds
+
+// LRU is a sequential fixed-capacity least-recently-used cache: a hash map
+// over an intrusive doubly-linked recency list. Like the sorted set, it is
+// a pair of coupled structures updated atomically per operation — the class
+// of structure §6 singles out as fundamentally beyond per-structure
+// lock-free composition, and a natural NR client (a shared cache is both
+// hot and update-heavy: even a Get reorders the recency list).
+type LRU struct {
+	capacity int
+	items    map[int64]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	hits     uint64
+	misses   uint64
+}
+
+type lruNode struct {
+	key        int64
+	val        uint64
+	prev, next *lruNode
+}
+
+// NewLRU returns an empty cache holding at most capacity entries.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, items: make(map[int64]*lruNode, capacity)}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Stats returns cumulative (hits, misses) for Get.
+func (c *LRU) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+func (c *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU) pushFront(n *lruNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Get returns the cached value and promotes the entry to most recent.
+// Note that Get mutates the recency list: it is an update operation.
+func (c *LRU) Get(key int64) (uint64, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return n.val, true
+}
+
+// Put inserts or updates key, evicting the least recently used entry when
+// the cache is full. It returns the evicted key and whether an eviction
+// happened.
+func (c *LRU) Put(key int64, val uint64) (evicted int64, didEvict bool) {
+	if n, ok := c.items[key]; ok {
+		n.val = val
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return 0, false
+	}
+	if len(c.items) >= c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.key)
+		evicted, didEvict = victim.key, true
+	}
+	n := &lruNode{key: key, val: val}
+	c.items[key] = n
+	c.pushFront(n)
+	return evicted, didEvict
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *LRU) Remove(key int64) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.items, key)
+	return true
+}
+
+// Peek returns the value without touching recency (a true read).
+func (c *LRU) Peek(key int64) (uint64, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	return n.val, true
+}
+
+// consistent validates map/list agreement; tests only.
+func (c *LRU) consistent() bool {
+	seen := 0
+	var prev *lruNode
+	for n := c.head; n != nil; n = n.next {
+		if n.prev != prev {
+			return false
+		}
+		if m, ok := c.items[n.key]; !ok || m != n {
+			return false
+		}
+		prev = n
+		seen++
+	}
+	return seen == len(c.items) && c.tail == prev
+}
+
+// LRUOpKind enumerates cache operations.
+type LRUOpKind uint8
+
+// Cache operations. Get is an update (it reorders recency); Peek is the
+// read-only probe.
+const (
+	LRUGet LRUOpKind = iota
+	LRUPut
+	LRURemove
+	LRUPeek
+)
+
+// LRUOp is one cache operation.
+type LRUOp struct {
+	Kind  LRUOpKind
+	Key   int64
+	Value uint64
+}
+
+// LRUResult is the result of a cache operation.
+type LRUResult struct {
+	Value   uint64
+	Evicted int64
+	OK      bool
+}
+
+// SeqLRU adapts LRU to the black-box contract.
+type SeqLRU struct {
+	c *LRU
+}
+
+// NewSeqLRU returns a cache with the given capacity.
+func NewSeqLRU(capacity int) *SeqLRU { return &SeqLRU{c: NewLRU(capacity)} }
+
+// Inner exposes the cache for inspection in tests.
+func (s *SeqLRU) Inner() *LRU { return s.c }
+
+// Execute applies op sequentially.
+func (s *SeqLRU) Execute(op LRUOp) LRUResult {
+	switch op.Kind {
+	case LRUGet:
+		v, ok := s.c.Get(op.Key)
+		return LRUResult{Value: v, OK: ok}
+	case LRUPut:
+		ev, did := s.c.Put(op.Key, op.Value)
+		return LRUResult{Evicted: ev, OK: did}
+	case LRURemove:
+		return LRUResult{OK: s.c.Remove(op.Key)}
+	case LRUPeek:
+		v, ok := s.c.Peek(op.Key)
+		return LRUResult{Value: v, OK: ok}
+	}
+	return LRUResult{}
+}
+
+// IsReadOnly reports whether op is read-only; only Peek qualifies — Get
+// moves the entry in the recency list, so it must go through the log.
+func (s *SeqLRU) IsReadOnly(op LRUOp) bool { return op.Kind == LRUPeek }

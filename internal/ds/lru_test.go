@@ -1,0 +1,187 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(2)
+	if _, ok := c.Get(1); ok {
+		t.Error("Get on empty = ok")
+	}
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Errorf("Get(1) = %d,%v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 evicts 2.
+	ev, did := c.Put(3, 30)
+	if !did || ev != 2 {
+		t.Errorf("eviction = %d,%v want 2,true", ev, did)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("evicted key still present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if !c.consistent() {
+		t.Error("map/list inconsistent")
+	}
+}
+
+func TestLRUUpdateExistingPromotes(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if _, did := c.Put(1, 11); did {
+		t.Error("updating existing key evicted")
+	}
+	// 1 was promoted; inserting 3 evicts 2.
+	if ev, did := c.Put(3, 30); !did || ev != 2 {
+		t.Errorf("eviction = %d,%v want 2,true", ev, did)
+	}
+	if v, _ := c.Peek(1); v != 11 {
+		t.Errorf("updated value = %d", v)
+	}
+}
+
+func TestLRUPeekDoesNotPromote(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Peek(1) // must NOT promote 1
+	if ev, _ := c.Put(3, 30); ev != 1 {
+		t.Errorf("evicted %d, want 1 (Peek must not touch recency)", ev)
+	}
+}
+
+func TestLRURemoveAndStats(t *testing.T) {
+	c := NewLRU(4)
+	c.Put(1, 10)
+	if !c.Remove(1) {
+		t.Error("Remove existing = false")
+	}
+	if c.Remove(1) {
+		t.Error("Remove absent = true")
+	}
+	c.Put(2, 20)
+	c.Get(2)
+	c.Get(99)
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats = %d,%d want 1,1", h, m)
+	}
+	if !c.consistent() {
+		t.Error("inconsistent after removals")
+	}
+}
+
+func TestLRUCapacityClamp(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(1, 1)
+	if ev, did := c.Put(2, 2); !did || ev != 1 {
+		t.Errorf("capacity-1 cache eviction = %d,%v", ev, did)
+	}
+}
+
+func TestLRUAgainstOracle(t *testing.T) {
+	// Oracle: a slice-based recency list.
+	const capacity = 8
+	c := NewLRU(capacity)
+	var order []int64 // most recent first
+	vals := map[int64]uint64{}
+	touch := func(k int64) {
+		for i, o := range order {
+			if o == k {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		order = append([]int64{k}, order...)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 30000; i++ {
+		k := int64(rng.Intn(20))
+		switch rng.Intn(3) {
+		case 0: // put
+			v := rng.Uint64()
+			_, present := vals[k]
+			ev, did := c.Put(k, v)
+			if present {
+				if did {
+					t.Fatalf("op %d: put(existing %d) evicted", i, k)
+				}
+				vals[k] = v
+				touch(k)
+				continue
+			}
+			if len(vals) >= capacity {
+				wantVictim := order[len(order)-1]
+				if !did || ev != wantVictim {
+					t.Fatalf("op %d: eviction = %d,%v want %d,true", i, ev, did, wantVictim)
+				}
+				delete(vals, wantVictim)
+				order = order[:len(order)-1]
+			} else if did {
+				t.Fatalf("op %d: put into non-full cache evicted", i)
+			}
+			vals[k] = v
+			touch(k)
+		case 1: // get
+			wv, wok := vals[k]
+			gv, gok := c.Get(k)
+			if gok != wok || (wok && gv != wv) {
+				t.Fatalf("op %d: get(%d) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+			if wok {
+				touch(k)
+			}
+		case 2: // remove
+			_, present := vals[k]
+			if got := c.Remove(k); got != present {
+				t.Fatalf("op %d: remove(%d) = %v want %v", i, k, got, present)
+			}
+			if present {
+				delete(vals, k)
+				for j, o := range order {
+					if o == k {
+						order = append(order[:j], order[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if c.Len() != len(vals) {
+			t.Fatalf("op %d: Len = %d want %d", i, c.Len(), len(vals))
+		}
+		if !c.consistent() {
+			t.Fatalf("op %d: inconsistent", i)
+		}
+	}
+}
+
+func TestSeqLRUOpsAndClassification(t *testing.T) {
+	s := NewSeqLRU(2)
+	s.Execute(LRUOp{Kind: LRUPut, Key: 1, Value: 10})
+	if r := s.Execute(LRUOp{Kind: LRUGet, Key: 1}); !r.OK || r.Value != 10 {
+		t.Errorf("Get = %+v", r)
+	}
+	if r := s.Execute(LRUOp{Kind: LRUPeek, Key: 1}); !r.OK || r.Value != 10 {
+		t.Errorf("Peek = %+v", r)
+	}
+	if r := s.Execute(LRUOp{Kind: LRURemove, Key: 1}); !r.OK {
+		t.Errorf("Remove = %+v", r)
+	}
+	if !s.IsReadOnly(LRUOp{Kind: LRUPeek}) {
+		t.Error("Peek not read-only")
+	}
+	for _, k := range []LRUOpKind{LRUGet, LRUPut, LRURemove} {
+		if s.IsReadOnly(LRUOp{Kind: k}) {
+			t.Errorf("kind %d classified read-only (Get must reorder recency!)", k)
+		}
+	}
+	if s.Inner().Len() != 0 {
+		t.Errorf("Len = %d", s.Inner().Len())
+	}
+}

@@ -1,0 +1,109 @@
+package ds
+
+// Queue is a sequential FIFO queue backed by a growable ring buffer — the
+// "bounded queue where threads enqueue and dequeue data" the paper lists
+// among the canonical contended structures (§2).
+type Queue[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewQueue returns an empty queue with the given capacity hint.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of elements.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Enqueue appends v at the tail.
+func (q *Queue[T]) Enqueue(v T) {
+	if q.size == len(q.buf) {
+		grown := make([]T, len(q.buf)*2)
+		for i := 0; i < q.size; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+}
+
+// Dequeue removes and returns the head element.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	if q.size == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Peek returns the head element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	if q.size == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// QueueOpKind enumerates queue operations.
+type QueueOpKind uint8
+
+// Queue operations: enqueue and dequeue are updates; peek is the read.
+const (
+	QueueEnqueue QueueOpKind = iota
+	QueueDequeue
+	QueuePeek
+)
+
+// QueueOp is one queue operation.
+type QueueOp struct {
+	Kind  QueueOpKind
+	Value int64
+}
+
+// QueueResult is the result of a queue operation.
+type QueueResult struct {
+	Value int64
+	OK    bool
+}
+
+// SeqQueue adapts Queue to the black-box contract.
+type SeqQueue struct {
+	q *Queue[int64]
+}
+
+// NewSeqQueue returns an empty queue.
+func NewSeqQueue(capacity int) *SeqQueue { return &SeqQueue{q: NewQueue[int64](capacity)} }
+
+// Len returns the number of elements.
+func (s *SeqQueue) Len() int { return s.q.Len() }
+
+// Execute applies op sequentially.
+func (s *SeqQueue) Execute(op QueueOp) QueueResult {
+	switch op.Kind {
+	case QueueEnqueue:
+		s.q.Enqueue(op.Value)
+		return QueueResult{Value: op.Value, OK: true}
+	case QueueDequeue:
+		v, ok := s.q.Dequeue()
+		return QueueResult{Value: v, OK: ok}
+	case QueuePeek:
+		v, ok := s.q.Peek()
+		return QueueResult{Value: v, OK: ok}
+	}
+	return QueueResult{}
+}
+
+// IsReadOnly reports whether op is read-only.
+func (s *SeqQueue) IsReadOnly(op QueueOp) bool { return op.Kind == QueuePeek }

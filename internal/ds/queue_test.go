@@ -1,0 +1,113 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int64](4)
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty = ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty = ok")
+	}
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 0 {
+		t.Errorf("Peek = %d,%v", v, ok)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestQueueWrapAroundGrowth(t *testing.T) {
+	q := NewQueue[int64](4)
+	// Interleave to force head movement before growth.
+	for i := int64(0); i < 3; i++ {
+		q.Enqueue(i)
+	}
+	q.Dequeue() // head=1
+	q.Dequeue() // head=2
+	for i := int64(3); i < 50; i++ {
+		q.Enqueue(i) // forces wrap + growth
+	}
+	for want := int64(2); want < 50; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+// Property: a queue dequeues exactly what was enqueued, in order,
+// interleaved arbitrarily with dequeues.
+func TestQueueProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewQueue[int64](4)
+		var model []int64
+		next := int64(0)
+		for _, op := range ops {
+			if op%3 != 0 {
+				q.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqQueueOps(t *testing.T) {
+	s := NewSeqQueue(0)
+	if r := s.Execute(QueueOp{Kind: QueueDequeue}); r.OK {
+		t.Error("dequeue on empty OK")
+	}
+	s.Execute(QueueOp{Kind: QueueEnqueue, Value: 1})
+	s.Execute(QueueOp{Kind: QueueEnqueue, Value: 2})
+	if r := s.Execute(QueueOp{Kind: QueuePeek}); !r.OK || r.Value != 1 {
+		t.Errorf("peek = %+v", r)
+	}
+	if r := s.Execute(QueueOp{Kind: QueueDequeue}); !r.OK || r.Value != 1 {
+		t.Errorf("dequeue = %+v", r)
+	}
+	if !s.IsReadOnly(QueueOp{Kind: QueuePeek}) {
+		t.Error("peek not read-only")
+	}
+	if s.IsReadOnly(QueueOp{Kind: QueueEnqueue}) || s.IsReadOnly(QueueOp{Kind: QueueDequeue}) {
+		t.Error("updates classified read-only")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,304 @@
+// Package ds provides the sequential data structures the paper evaluates:
+// a skip list (used as a dictionary and as a priority queue), a pairing-heap
+// priority queue, a stack, a hash map, a Redis-style sorted set (hash map +
+// skip list, updated atomically), and the synthetic padded buffer of §8.2 —
+// plus extension structures that exercise the same black-box contract: a
+// B-tree dictionary, a FIFO queue, and an LRU cache.
+//
+// Everything in this package is strictly sequential — no locks, no atomics.
+// Node Replication (internal/core) turns these into linearizable concurrent
+// structures without modifying them, which is the paper's whole point.
+package ds
+
+// SkipList is a sequential skip list (Pugh [54]) mapping keys to values,
+// ordered by a caller-supplied comparison. Nodes carry level spans so rank
+// queries run in O(log n), as in Redis's zset implementation.
+//
+// Level choice uses an internal deterministic PRNG. The paper permits this
+// nondeterminism because levels never affect operation results (§4).
+type SkipList[K, V any] struct {
+	less   func(a, b K) bool
+	head   *skipNode[K, V]
+	level  int
+	length int
+	rng    uint64
+}
+
+const skipMaxLevel = 24 // supports ~16M elements at p=1/2
+
+type skipNode[K, V any] struct {
+	key  K
+	val  V
+	next []skipLink[K, V]
+}
+
+type skipLink[K, V any] struct {
+	to   *skipNode[K, V]
+	span int // number of bottom-level steps this link covers
+}
+
+// NewSkipList returns an empty skip list ordered by less. The seed fixes the
+// level PRNG so replicas built from the same operation stream are identical.
+func NewSkipList[K, V any](less func(a, b K) bool, seed uint64) *SkipList[K, V] {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &SkipList[K, V]{
+		less:  less,
+		head:  &skipNode[K, V]{next: make([]skipLink[K, V], skipMaxLevel)},
+		level: 1,
+		rng:   seed,
+	}
+}
+
+func (s *SkipList[K, V]) randLevel() int {
+	// xorshift64*; one level per consecutive set bit, p = 1/2.
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	lvl := 1
+	for v := s.rng; v&1 == 1 && lvl < skipMaxLevel; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// Len returns the number of elements.
+func (s *SkipList[K, V]) Len() int { return s.length }
+
+func (s *SkipList[K, V]) equal(a, b K) bool { return !s.less(a, b) && !s.less(b, a) }
+
+// Insert adds key with val, or replaces the value if key is present.
+// It reports whether the key was newly inserted.
+func (s *SkipList[K, V]) Insert(key K, val V) bool {
+	var (
+		update [skipMaxLevel]*skipNode[K, V]
+		ranks  [skipMaxLevel]int
+	)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		if i == s.level-1 {
+			ranks[i] = 0
+		} else {
+			ranks[i] = ranks[i+1]
+		}
+		for x.next[i].to != nil && s.less(x.next[i].to.key, key) {
+			ranks[i] += x.next[i].span
+			x = x.next[i].to
+		}
+		update[i] = x
+	}
+	if nxt := x.next[0].to; nxt != nil && s.equal(nxt.key, key) {
+		nxt.val = val
+		return false
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			ranks[i] = 0
+			update[i] = s.head
+			update[i].next[i].span = s.length
+		}
+		s.level = lvl
+	}
+	n := &skipNode[K, V]{key: key, val: val, next: make([]skipLink[K, V], lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i].to = update[i].next[i].to
+		update[i].next[i].to = n
+		n.next[i].span = update[i].next[i].span - (ranks[0] - ranks[i])
+		update[i].next[i].span = ranks[0] - ranks[i] + 1
+	}
+	for i := lvl; i < s.level; i++ {
+		update[i].next[i].span++
+	}
+	s.length++
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SkipList[K, V]) Delete(key K) bool {
+	var update [skipMaxLevel]*skipNode[K, V]
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i].to != nil && s.less(x.next[i].to.key, key) {
+			x = x.next[i].to
+		}
+		update[i] = x
+	}
+	target := x.next[0].to
+	if target == nil || !s.equal(target.key, key) {
+		return false
+	}
+	s.removeNode(target, update[:])
+	return true
+}
+
+func (s *SkipList[K, V]) removeNode(target *skipNode[K, V], update []*skipNode[K, V]) {
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i].to == target {
+			update[i].next[i].span += target.next[i].span - 1
+			update[i].next[i].to = target.next[i].to
+		} else {
+			update[i].next[i].span--
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1].to == nil {
+		s.head.next[s.level-1].span = 0
+		s.level--
+	}
+	s.length--
+}
+
+// Get returns the value stored for key.
+func (s *SkipList[K, V]) Get(key K) (V, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i].to != nil && s.less(x.next[i].to.key, key) {
+			x = x.next[i].to
+		}
+	}
+	if nxt := x.next[0].to; nxt != nil && s.equal(nxt.key, key) {
+		return nxt.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (s *SkipList[K, V]) Contains(key K) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Min returns the smallest key and its value without removing it.
+func (s *SkipList[K, V]) Min() (K, V, bool) {
+	if n := s.head.next[0].to; n != nil {
+		return n.key, n.val, true
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// DeleteMin removes and returns the smallest key and its value.
+func (s *SkipList[K, V]) DeleteMin() (K, V, bool) {
+	target := s.head.next[0].to
+	if target == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	var update [skipMaxLevel]*skipNode[K, V]
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		// The minimum is the first node; every head predecessor is head itself
+		// unless the node is taller than head's occupied levels.
+		for x.next[i].to != nil && s.less(x.next[i].to.key, target.key) {
+			x = x.next[i].to
+		}
+		update[i] = x
+	}
+	s.removeNode(target, update[:])
+	return target.key, target.val, true
+}
+
+// Rank returns the 0-based position of key in sorted order, or false if the
+// key is absent. O(log n) via level spans.
+func (s *SkipList[K, V]) Rank(key K) (int, bool) {
+	x := s.head
+	rank := 0
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i].to != nil && s.less(x.next[i].to.key, key) {
+			rank += x.next[i].span
+			x = x.next[i].to
+		}
+	}
+	if nxt := x.next[0].to; nxt != nil && s.equal(nxt.key, key) {
+		return rank, true
+	}
+	return 0, false
+}
+
+// ByRank returns the key and value at 0-based sorted position r.
+func (s *SkipList[K, V]) ByRank(r int) (K, V, bool) {
+	if r < 0 || r >= s.length {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	x := s.head
+	traversed := -1 // head sits at rank -1
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i].to != nil && traversed+x.next[i].span <= r {
+			traversed += x.next[i].span
+			x = x.next[i].to
+		}
+	}
+	return x.key, x.val, true
+}
+
+// Ascend calls fn for each element in key order until fn returns false.
+func (s *SkipList[K, V]) Ascend(fn func(key K, val V) bool) {
+	for n := s.head.next[0].to; n != nil; n = n.next[0].to {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+// RangeByRank calls fn for elements with ranks in [lo, hi] (inclusive,
+// 0-based), in order. Out-of-range bounds are clamped.
+func (s *SkipList[K, V]) RangeByRank(lo, hi int, fn func(key K, val V) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= s.length {
+		hi = s.length - 1
+	}
+	if lo > hi {
+		return
+	}
+	k, v, ok := s.ByRank(lo)
+	if !ok {
+		return
+	}
+	if !fn(k, v) {
+		return
+	}
+	// Walk forward from the node at rank lo.
+	x := s.nodeAtRank(lo)
+	for r := lo + 1; r <= hi && x.next[0].to != nil; r++ {
+		x = x.next[0].to
+		if !fn(x.key, x.val) {
+			return
+		}
+	}
+}
+
+func (s *SkipList[K, V]) nodeAtRank(r int) *skipNode[K, V] {
+	x := s.head
+	traversed := -1
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i].to != nil && traversed+x.next[i].span <= r {
+			traversed += x.next[i].span
+			x = x.next[i].to
+		}
+	}
+	return x
+}
+
+// checkSpans validates the span bookkeeping; it is used by tests only.
+func (s *SkipList[K, V]) checkSpans() bool {
+	for i := 0; i < s.level; i++ {
+		total := 0
+		for x := s.head; x.next[i].to != nil; x = x.next[i].to {
+			total += x.next[i].span
+		}
+		// Links at level i must cover exactly the elements reachable below the
+		// last node of that level; at level 0 the sum is the length.
+		if i == 0 && total != s.length {
+			return false
+		}
+	}
+	return true
+}

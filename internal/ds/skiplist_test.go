@@ -1,0 +1,325 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int64) bool { return a < b }
+
+func newIntList(seed uint64) *SkipList[int64, uint64] {
+	return NewSkipList[int64, uint64](intLess, seed)
+}
+
+func TestSkipListEmpty(t *testing.T) {
+	s := newIntList(1)
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", s.Len())
+	}
+	if _, ok := s.Get(5); ok {
+		t.Error("Get on empty returned ok")
+	}
+	if _, _, ok := s.Min(); ok {
+		t.Error("Min on empty returned ok")
+	}
+	if _, _, ok := s.DeleteMin(); ok {
+		t.Error("DeleteMin on empty returned ok")
+	}
+	if s.Delete(5) {
+		t.Error("Delete on empty returned true")
+	}
+	if _, ok := s.Rank(5); ok {
+		t.Error("Rank on empty returned ok")
+	}
+	if _, _, ok := s.ByRank(0); ok {
+		t.Error("ByRank(0) on empty returned ok")
+	}
+}
+
+func TestSkipListInsertGetDelete(t *testing.T) {
+	s := newIntList(2)
+	if !s.Insert(10, 100) {
+		t.Error("first Insert(10) = false, want true")
+	}
+	if s.Insert(10, 200) {
+		t.Error("second Insert(10) = true, want false (replace)")
+	}
+	if v, ok := s.Get(10); !ok || v != 200 {
+		t.Errorf("Get(10) = %d,%v, want 200,true", v, ok)
+	}
+	if !s.Delete(10) {
+		t.Error("Delete(10) = false, want true")
+	}
+	if s.Delete(10) {
+		t.Error("Delete(10) twice = true, want false")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", s.Len())
+	}
+}
+
+func TestSkipListOrderAndMin(t *testing.T) {
+	s := newIntList(3)
+	keys := []int64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		s.Insert(k, uint64(k*10))
+	}
+	var got []int64
+	s.Ascend(func(k int64, v uint64) bool {
+		got = append(got, k)
+		if v != uint64(k*10) {
+			t.Errorf("value for %d = %d", k, v)
+		}
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+	for want := int64(0); want < 10; want++ {
+		k, _, ok := s.Min()
+		if !ok || k != want {
+			t.Fatalf("Min = %d,%v, want %d,true", k, ok, want)
+		}
+		dk, _, ok := s.DeleteMin()
+		if !ok || dk != want {
+			t.Fatalf("DeleteMin = %d,%v, want %d,true", dk, ok, want)
+		}
+	}
+}
+
+func TestSkipListRank(t *testing.T) {
+	s := newIntList(4)
+	for i := int64(0); i < 100; i++ {
+		s.Insert(i*2, 0) // even keys 0..198
+	}
+	for i := int64(0); i < 100; i++ {
+		r, ok := s.Rank(i * 2)
+		if !ok || r != int(i) {
+			t.Fatalf("Rank(%d) = %d,%v, want %d,true", i*2, r, ok, i)
+		}
+	}
+	if _, ok := s.Rank(3); ok {
+		t.Error("Rank(3) = ok for absent key")
+	}
+	for i := 0; i < 100; i++ {
+		k, _, ok := s.ByRank(i)
+		if !ok || k != int64(i*2) {
+			t.Fatalf("ByRank(%d) = %d,%v, want %d,true", i, k, ok, i*2)
+		}
+	}
+	if _, _, ok := s.ByRank(100); ok {
+		t.Error("ByRank(100) out of range = ok")
+	}
+	if _, _, ok := s.ByRank(-1); ok {
+		t.Error("ByRank(-1) = ok")
+	}
+}
+
+func TestSkipListRankAfterDeletes(t *testing.T) {
+	s := newIntList(5)
+	for i := int64(0); i < 50; i++ {
+		s.Insert(i, 0)
+	}
+	for i := int64(0); i < 50; i += 2 {
+		s.Delete(i) // remove evens, odds remain
+	}
+	for i := 0; i < 25; i++ {
+		k, _, ok := s.ByRank(i)
+		if !ok || k != int64(2*i+1) {
+			t.Fatalf("ByRank(%d) = %d, want %d", i, k, 2*i+1)
+		}
+	}
+	if !s.checkSpans() {
+		t.Error("span invariant violated after deletes")
+	}
+}
+
+func TestSkipListRangeByRank(t *testing.T) {
+	s := newIntList(6)
+	for i := int64(0); i < 10; i++ {
+		s.Insert(i, uint64(i))
+	}
+	var got []int64
+	s.RangeByRank(3, 6, func(k int64, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("RangeByRank(3,6) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RangeByRank(3,6) = %v, want %v", got, want)
+		}
+	}
+	// Clamping and early stop.
+	got = got[:0]
+	s.RangeByRank(-5, 100, func(k int64, _ uint64) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if len(got) != 3 {
+		t.Errorf("early-stop range returned %d items, want 3", len(got))
+	}
+	got = got[:0]
+	s.RangeByRank(7, 3, func(k int64, _ uint64) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Errorf("inverted range returned %v", got)
+	}
+}
+
+func TestSkipListAgainstMapOracle(t *testing.T) {
+	s := newIntList(7)
+	oracle := map[int64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			wantNew := func() bool { _, ok := oracle[k]; return !ok }()
+			if got := s.Insert(k, v); got != wantNew {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, wantNew)
+			}
+			oracle[k] = v
+		case 1:
+			_, present := oracle[k]
+			if got := s.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, present)
+			}
+			delete(oracle, k)
+		case 2:
+			wv, wok := oracle[k]
+			gv, gok := s.Get(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("op %d: Len = %d, want %d", i, s.Len(), len(oracle))
+		}
+	}
+	if !s.checkSpans() {
+		t.Error("span invariant violated after random workload")
+	}
+}
+
+func TestSkipListDeterministicAcrossReplicas(t *testing.T) {
+	// Same seed + same op stream must produce structurally equal results —
+	// the property NR relies on for replica consistency.
+	a, b := newIntList(99), newIntList(99)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(300))
+		v := rng.Uint64()
+		switch rng.Intn(3) {
+		case 0:
+			ra, rb := a.Insert(k, v), b.Insert(k, v)
+			if ra != rb {
+				t.Fatalf("Insert diverged at op %d", i)
+			}
+		case 1:
+			if a.Delete(k) != b.Delete(k) {
+				t.Fatalf("Delete diverged at op %d", i)
+			}
+		case 2:
+			ka, va, oka := a.DeleteMin()
+			kb, vb, okb := b.DeleteMin()
+			if ka != kb || va != vb || oka != okb {
+				t.Fatalf("DeleteMin diverged at op %d", i)
+			}
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths diverged: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+// Property: for any key set, ranks are a permutation of 0..n-1 consistent
+// with sorted order.
+func TestSkipListRankProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		s := newIntList(11)
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			s.Insert(k, 0)
+			uniq[k] = true
+		}
+		var sorted []int64
+		for k := range uniq {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, k := range sorted {
+			r, ok := s.Rank(k)
+			if !ok || r != i {
+				return false
+			}
+		}
+		return s.checkSpans()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Insert then Delete of an absent key leaves the structure
+// behaviorally unchanged for lookups of other keys.
+func TestSkipListInsertDeleteRoundTrip(t *testing.T) {
+	f := func(base []int64, probe int64) bool {
+		s := newIntList(13)
+		for _, k := range base {
+			if k != probe {
+				s.Insert(k, uint64(k))
+			}
+		}
+		before := s.Len()
+		s.Insert(probe, 1)
+		s.Delete(probe)
+		if s.Len() != before {
+			return false
+		}
+		for _, k := range base {
+			if k == probe {
+				continue
+			}
+			if v, ok := s.Get(k); !ok || v != uint64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSkipListInsertDelete(b *testing.B) {
+	s := newIntList(17)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(rng.Intn(200000))
+		if i%2 == 0 {
+			s.Insert(k, 1)
+		} else {
+			s.Delete(k)
+		}
+	}
+}
+
+func BenchmarkSkipListGet(b *testing.B) {
+	s := newIntList(19)
+	for i := int64(0); i < 200000; i++ {
+		s.Insert(i, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(int64(i % 200000))
+	}
+}

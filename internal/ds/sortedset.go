@@ -1,0 +1,125 @@
+package ds
+
+// SortedSet is a Redis-style sorted set: members (strings) with float64
+// scores, backed by a hash map for O(1) member lookup and a skip list keyed
+// by (score, member) for O(log n) rank and range queries. Every update keeps
+// both structures consistent — these are the "coupled data structures" of §6
+// that lock-free algorithms fundamentally cannot compose, and that NR updates
+// atomically by treating the pair as one black box.
+type SortedSet struct {
+	byMember *HashMap[float64]
+	byScore  *SkipList[scoredMember, struct{}]
+}
+
+type scoredMember struct {
+	score  float64
+	member string
+}
+
+func lessScored(a, b scoredMember) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.member < b.member
+}
+
+// NewSortedSet returns an empty sorted set. The seed fixes the skip list's
+// level PRNG so replicas stay identical.
+func NewSortedSet(capacity int, seed uint64) *SortedSet {
+	return &SortedSet{
+		byMember: NewHashMap[float64](capacity),
+		byScore:  NewSkipList[scoredMember, struct{}](lessScored, seed),
+	}
+}
+
+// Len returns the number of members.
+func (z *SortedSet) Len() int { return z.byMember.Len() }
+
+// Add sets member's score, reporting whether the member was newly added.
+// Matches Redis ZADD.
+func (z *SortedSet) Add(member string, score float64) bool {
+	if old, ok := z.byMember.Get(member); ok {
+		if old == score {
+			return false
+		}
+		z.byScore.Delete(scoredMember{old, member})
+		z.byScore.Insert(scoredMember{score, member}, struct{}{})
+		z.byMember.Set(member, score)
+		return false
+	}
+	z.byMember.Set(member, score)
+	z.byScore.Insert(scoredMember{score, member}, struct{}{})
+	return true
+}
+
+// IncrBy adds delta to member's score (creating it at delta if absent) and
+// returns the new score. Matches Redis ZINCRBY: the member is deleted from
+// and reinserted into the skip list.
+func (z *SortedSet) IncrBy(member string, delta float64) float64 {
+	old, ok := z.byMember.Get(member)
+	if ok {
+		z.byScore.Delete(scoredMember{old, member})
+	}
+	score := old + delta
+	z.byMember.Set(member, score)
+	z.byScore.Insert(scoredMember{score, member}, struct{}{})
+	return score
+}
+
+// Remove deletes member, reporting whether it was present.
+func (z *SortedSet) Remove(member string) bool {
+	score, ok := z.byMember.Get(member)
+	if !ok {
+		return false
+	}
+	z.byMember.Delete(member)
+	z.byScore.Delete(scoredMember{score, member})
+	return true
+}
+
+// Score returns member's score.
+func (z *SortedSet) Score(member string) (float64, bool) {
+	return z.byMember.Get(member)
+}
+
+// Rank returns member's 0-based rank in ascending (score, member) order.
+// Matches Redis ZRANK: hash lookup first, then skip-list rank (§8.3).
+func (z *SortedSet) Rank(member string) (int, bool) {
+	score, ok := z.byMember.Get(member)
+	if !ok {
+		return 0, false
+	}
+	return z.byScore.Rank(scoredMember{score, member})
+}
+
+// Range calls fn for members with ranks in [lo, hi] inclusive, ascending.
+func (z *SortedSet) Range(lo, hi int, fn func(member string, score float64) bool) {
+	z.byScore.RangeByRank(lo, hi, func(k scoredMember, _ struct{}) bool {
+		return fn(k.member, k.score)
+	})
+}
+
+// ByRank returns the member and score at 0-based rank r.
+func (z *SortedSet) ByRank(r int) (member string, score float64, ok bool) {
+	k, _, ok := z.byScore.ByRank(r)
+	if !ok {
+		return "", 0, false
+	}
+	return k.member, k.score, true
+}
+
+// consistent reports whether the two underlying structures agree; tests only.
+func (z *SortedSet) consistent() bool {
+	if z.byMember.Len() != z.byScore.Len() {
+		return false
+	}
+	ok := true
+	z.byMember.Range(func(member string, score float64) bool {
+		if !z.byScore.Contains(scoredMember{score, member}) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,212 @@
+package ds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortedSetAddScoreRank(t *testing.T) {
+	z := NewSortedSet(0, 1)
+	if !z.Add("alice", 10) {
+		t.Error("Add(alice) = false, want true")
+	}
+	if z.Add("alice", 20) {
+		t.Error("re-Add(alice) = true, want false")
+	}
+	z.Add("bob", 5)
+	z.Add("carol", 15)
+	if s, ok := z.Score("alice"); !ok || s != 20 {
+		t.Errorf("Score(alice) = %v,%v, want 20,true", s, ok)
+	}
+	// Ascending by score: bob(5), carol(15), alice(20).
+	cases := []struct {
+		member string
+		rank   int
+	}{{"bob", 0}, {"carol", 1}, {"alice", 2}}
+	for _, c := range cases {
+		if r, ok := z.Rank(c.member); !ok || r != c.rank {
+			t.Errorf("Rank(%s) = %d,%v, want %d,true", c.member, r, ok, c.rank)
+		}
+	}
+	if _, ok := z.Rank("dave"); ok {
+		t.Error("Rank(dave) = ok for absent member")
+	}
+	if !z.consistent() {
+		t.Error("hash/skiplist inconsistent")
+	}
+}
+
+func TestSortedSetIncrBy(t *testing.T) {
+	z := NewSortedSet(0, 2)
+	if s := z.IncrBy("x", 3); s != 3 {
+		t.Errorf("IncrBy new member = %v, want 3", s)
+	}
+	if s := z.IncrBy("x", 4); s != 7 {
+		t.Errorf("IncrBy existing = %v, want 7", s)
+	}
+	if s, _ := z.Score("x"); s != 7 {
+		t.Errorf("Score after IncrBy = %v, want 7", s)
+	}
+	z.Add("y", 1)
+	z.IncrBy("y", 100)
+	if r, _ := z.Rank("y"); r != 1 {
+		t.Errorf("Rank(y) after IncrBy = %d, want 1", r)
+	}
+	if !z.consistent() {
+		t.Error("inconsistent after IncrBy")
+	}
+}
+
+func TestSortedSetRemoveAndRange(t *testing.T) {
+	z := NewSortedSet(0, 3)
+	for i := 0; i < 10; i++ {
+		z.Add(fmt.Sprintf("m%d", i), float64(i))
+	}
+	if !z.Remove("m5") {
+		t.Error("Remove(m5) = false")
+	}
+	if z.Remove("m5") {
+		t.Error("double Remove(m5) = true")
+	}
+	if z.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", z.Len())
+	}
+	var members []string
+	z.Range(0, 100, func(m string, _ float64) bool {
+		members = append(members, m)
+		return true
+	})
+	want := []string{"m0", "m1", "m2", "m3", "m4", "m6", "m7", "m8", "m9"}
+	if len(members) != len(want) {
+		t.Fatalf("Range = %v, want %v", members, want)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", members, want)
+		}
+	}
+	if m, s, ok := z.ByRank(4); !ok || m != "m4" || s != 4 {
+		t.Errorf("ByRank(4) = %s,%v,%v, want m4,4,true", m, s, ok)
+	}
+	if _, _, ok := z.ByRank(99); ok {
+		t.Error("ByRank(99) = ok")
+	}
+}
+
+func TestSortedSetTieBreakByMember(t *testing.T) {
+	z := NewSortedSet(0, 4)
+	z.Add("b", 1)
+	z.Add("a", 1)
+	z.Add("c", 1)
+	// Equal scores order lexicographically by member, as in Redis.
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if m, _, _ := z.ByRank(i); m != w {
+			t.Errorf("ByRank(%d) = %s, want %s", i, m, w)
+		}
+	}
+}
+
+func TestSortedSetRandomConsistency(t *testing.T) {
+	z := NewSortedSet(0, 5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20000; i++ {
+		m := fmt.Sprintf("m%d", rng.Intn(200))
+		switch rng.Intn(4) {
+		case 0:
+			z.Add(m, float64(rng.Intn(1000)))
+		case 1:
+			z.IncrBy(m, float64(rng.Intn(10)))
+		case 2:
+			z.Remove(m)
+		case 3:
+			z.Rank(m)
+		}
+	}
+	if !z.consistent() {
+		t.Fatal("sorted set inconsistent after random workload")
+	}
+}
+
+// Property: ranks form a dense prefix 0..Len-1 and agree with ByRank.
+func TestSortedSetRankDenseProperty(t *testing.T) {
+	f := func(scores []float64) bool {
+		z := NewSortedSet(0, 7)
+		for i, s := range scores {
+			z.Add(fmt.Sprintf("m%d", i), s)
+		}
+		for r := 0; r < z.Len(); r++ {
+			m, _, ok := z.ByRank(r)
+			if !ok {
+				return false
+			}
+			got, ok := z.Rank(m)
+			if !ok || got != r {
+				return false
+			}
+		}
+		return z.consistent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferReadUpdate(t *testing.T) {
+	b := NewBuffer(16)
+	if b.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", b.Len())
+	}
+	if sum := b.Read([]int{1, 2, 3}); sum != 0 {
+		t.Errorf("Read on zeroed buffer = %d, want 0", sum)
+	}
+	b.Update([]int{1})
+	if b.Checksum() != 1 {
+		t.Errorf("entry 0 after update = %d, want 1", b.Checksum())
+	}
+	// Entry indices wrap modulo Len.
+	b.Update([]int{17}) // same as entry 1
+	if sum := b.Read([]int{1}); sum == 0 {
+		t.Error("entry 1 untouched after wrapped update")
+	}
+}
+
+func TestBufferMinSize(t *testing.T) {
+	b := NewBuffer(0)
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want clamp to 1", b.Len())
+	}
+	b.Update(nil) // must not panic
+}
+
+func TestSeqBufferDeterminism(t *testing.T) {
+	// Two replicas applying the same op stream must end identical — this is
+	// what lets NR replay buffer ops from the log.
+	a, b := NewSeqBuffer(64), NewSeqBuffer(64)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		op := BufferOp{Update: rng.Intn(2) == 0, Seed: rng.Uint64(), C: 1 + rng.Intn(8)}
+		ra, rb := a.Execute(op), b.Execute(op)
+		if ra != rb {
+			t.Fatalf("op %d: results diverged: %v vs %v", i, ra, rb)
+		}
+	}
+	if a.b.Checksum() != b.b.Checksum() {
+		t.Fatal("replica states diverged")
+	}
+}
+
+func TestSeqBufferReadOnlyClassification(t *testing.T) {
+	s := NewSeqBuffer(8)
+	if s.IsReadOnly(BufferOp{Update: true}) {
+		t.Error("update op classified read-only")
+	}
+	if !s.IsReadOnly(BufferOp{Update: false}) {
+		t.Error("read op classified as update")
+	}
+	if got := s.Execute(BufferOp{C: 0}); got.Sum != 0 {
+		t.Errorf("C=0 clamped execute = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package ds
+
+// Stack is a sequential LIFO stack backed by a slice.
+type Stack[T any] struct {
+	items []T
+}
+
+// NewStack returns an empty stack with the given initial capacity hint.
+func NewStack[T any](capacity int) *Stack[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Stack[T]{items: make([]T, 0, capacity)}
+}
+
+// Len returns the number of elements.
+func (s *Stack[T]) Len() int { return len(s.items) }
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) { s.items = append(s.items, v) }
+
+// Pop removes and returns the top element.
+func (s *Stack[T]) Pop() (T, bool) {
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := s.items[len(s.items)-1]
+	var zero T
+	s.items[len(s.items)-1] = zero // release for GC
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// Peek returns the top element without removing it.
+func (s *Stack[T]) Peek() (T, bool) {
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return s.items[len(s.items)-1], true
+}

@@ -1,0 +1,132 @@
+// Package histogram provides a compact log-scaled latency histogram for
+// benchmark reporting: lock-free recording, power-of-two buckets with four
+// linear sub-buckets each, and percentile queries. It backs the
+// nrredis-bench client's latency report.
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// subBuckets is the number of linear subdivisions per power of two.
+const subBuckets = 4
+
+// numBuckets covers 1ns .. ~17s.
+const numBuckets = 64 * subBuckets / 2
+
+// Histogram records durations concurrently.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds, for mean
+	max    atomic.Uint64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns uint64) int {
+	if ns < subBuckets {
+		return int(ns)
+	}
+	exp := bits.Len64(ns) - 1       // floor(log2)
+	frac := (ns >> (exp - 2)) & 0x3 // top two fractional bits
+	idx := (exp-1)*subBuckets + int(frac)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of a bucket in nanoseconds.
+func bucketLow(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	exp := idx/subBuckets + 1
+	frac := uint64(idx % subBuckets)
+	return (1 << exp) + frac<<(exp-2)
+}
+
+// Record adds one duration.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.counts[bucketOf(ns)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the mean duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other into h (for per-worker histograms).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		cur, o := h.max.Load(), other.max.Load()
+		if o <= cur || h.max.CompareAndSwap(cur, o) {
+			break
+		}
+	}
+}
+
+// Summary renders the standard one-line latency report.
+func (h *Histogram) Summary() string {
+	if h.Count() == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s p50=%s p90=%s p99=%s p999=%s max=%s",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(90),
+		h.Percentile(99), h.Percentile(99.9), h.Max())
+	return b.String()
+}

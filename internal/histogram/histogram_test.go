@@ -1,0 +1,127 @@
+package histogram
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram returned nonzero stats")
+	}
+	if h.Summary() != "no samples" {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestBucketMonotonicity(t *testing.T) {
+	prev := uint64(0)
+	prevIdx := -1
+	for ns := uint64(1); ns < 1<<40; ns = ns*3/2 + 1 {
+		idx := bucketOf(ns)
+		if idx < prevIdx {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", ns, idx, prevIdx)
+		}
+		low := bucketLow(idx)
+		if low > ns {
+			t.Fatalf("bucketLow(%d) = %d > value %d", idx, low, ns)
+		}
+		if low < prev {
+			t.Fatalf("bucketLow regressed: %d after %d", low, prev)
+		}
+		prev = low
+		prevIdx = idx
+	}
+}
+
+func TestBucketRoundTripAccuracy(t *testing.T) {
+	// The bucket lower bound must be within 25% of the recorded value
+	// (two fractional bits per power of two).
+	for _, ns := range []uint64{5, 100, 999, 12345, 1 << 20, 7777777} {
+		low := bucketLow(bucketOf(ns))
+		if low > ns || float64(ns-low)/float64(ns) > 0.25 {
+			t.Errorf("value %d mapped to bucket low %d (error > 25%%)", ns, low)
+		}
+	}
+}
+
+func TestPercentilesOnKnownDistribution(t *testing.T) {
+	h := New()
+	// 1..1000 microseconds, uniform.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 350*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Errorf("p50 = %s, want ~500µs", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 800*time.Microsecond || p99 > time.Millisecond {
+		t.Errorf("p99 = %s, want ~990µs", p99)
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("Max = %s", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 450*time.Microsecond || mean > 550*time.Microsecond {
+		t.Errorf("mean = %s, want ~500µs", mean)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(rng.Intn(1_000_000)) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d, want 80000", h.Count())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Microsecond)
+		b.Record(time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Errorf("merged max = %s", a.Max())
+	}
+	if p := a.Percentile(25); p > 2*time.Microsecond {
+		t.Errorf("p25 after merge = %s, want ~1µs", p)
+	}
+	if p := a.Percentile(90); p < 500*time.Microsecond {
+		t.Errorf("p90 after merge = %s, want ~1ms", p)
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	h := New()
+	h.Record(time.Millisecond)
+	s := h.Summary()
+	for _, field := range []string{"n=1", "mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, field) {
+			t.Errorf("Summary %q missing %q", s, field)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestTreiberSequential(t *testing.T) {
+	s := NewTreiberStack[int64]()
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop on empty = ok")
+	}
+	for i := int64(0); i < 100; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100", s.Len())
+	}
+	for i := int64(99); i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+}
+
+func TestTreiberConcurrentNoLostElements(t *testing.T) {
+	s := NewTreiberStack[int64]()
+	const threads, per = 8, 5000
+	var wg sync.WaitGroup
+	popped := make([][]int64, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * per)
+			for i := 0; i < per; i++ {
+				s.Push(base + int64(i))
+				if v, ok := s.Pop(); ok {
+					popped[g] = append(popped[g], v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every pushed element is either popped exactly once or still in the stack.
+	seen := map[int64]int{}
+	for _, ps := range popped {
+		for _, v := range ps {
+			seen[v]++
+		}
+	}
+	for v, ok := s.Pop(); ok; v, ok = s.Pop() {
+		seen[v]++
+	}
+	if len(seen) != threads*per {
+		t.Fatalf("saw %d distinct elements, want %d", len(seen), threads*per)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d seen %d times", v, n)
+		}
+	}
+}
+
+func TestLFSkipListSequential(t *testing.T) {
+	s := NewSkipList()
+	if s.Contains(5) {
+		t.Error("Contains on empty = true")
+	}
+	if !s.Insert(5, 50) {
+		t.Error("first Insert = false")
+	}
+	if s.Insert(5, 60) {
+		t.Error("duplicate Insert = true")
+	}
+	if v, ok := s.Get(5); !ok || v != 50 {
+		t.Errorf("Get(5) = %d,%v, want 50 (set semantics keep old value)", v, ok)
+	}
+	if !s.Delete(5) {
+		t.Error("Delete = false")
+	}
+	if s.Delete(5) {
+		t.Error("double Delete = true")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestLFSkipListMinAndDeleteMin(t *testing.T) {
+	s := NewSkipList()
+	keys := []int64{50, 10, 90, 30, 70}
+	for _, k := range keys {
+		s.Insert(k, uint64(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if m, ok := s.Min(); !ok || m != 10 {
+		t.Errorf("Min = %d,%v, want 10", m, ok)
+	}
+	for _, want := range keys {
+		got, ok := s.DeleteMin()
+		if !ok || got != want {
+			t.Fatalf("DeleteMin = %d,%v, want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.DeleteMin(); ok {
+		t.Error("DeleteMin on empty = ok")
+	}
+	if _, ok := s.Min(); ok {
+		t.Error("Min on empty = ok")
+	}
+}
+
+func TestLFSkipListSequentialOracle(t *testing.T) {
+	s := NewSkipList()
+	oracle := map[int64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0:
+			_, present := oracle[k]
+			if got := s.Insert(k, uint64(k)); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, !present)
+			}
+			if !present {
+				oracle[k] = uint64(k)
+			}
+		case 1:
+			_, present := oracle[k]
+			if got := s.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, present)
+			}
+			delete(oracle, k)
+		case 2:
+			_, wok := oracle[k]
+			if got := s.Contains(k); got != wok {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, wok)
+			}
+		}
+		if i%1000 == 0 && s.Len() != len(oracle) {
+			t.Fatalf("op %d: Len = %d, want %d", i, s.Len(), len(oracle))
+		}
+	}
+}
+
+func TestLFSkipListConcurrentDisjointKeys(t *testing.T) {
+	// Disjoint key ranges: every op's result is deterministic.
+	s := NewSkipList()
+	const threads, per = 8, 3000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * per)
+			for i := 0; i < per; i++ {
+				k := base + int64(i)
+				if !s.Insert(k, uint64(k)) {
+					t.Errorf("Insert(%d) reported duplicate", k)
+					return
+				}
+				if !s.Contains(k) {
+					t.Errorf("Contains(%d) = false right after insert", k)
+					return
+				}
+				if i%2 == 0 {
+					if !s.Delete(k) {
+						t.Errorf("Delete(%d) failed", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := s.Len(), threads*per/2; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestLFSkipListConcurrentContendedInsertDeleteOnce(t *testing.T) {
+	// All threads fight over the same small key space; each successful
+	// Insert must be matched by exactly one successful Delete.
+	s := NewSkipList()
+	const threads, per, keyspace = 8, 4000, 32
+	var wg sync.WaitGroup
+	inserts := make([]int, threads)
+	deletes := make([]int, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			for i := 0; i < per; i++ {
+				k := int64(rng.Intn(keyspace))
+				if rng.Intn(2) == 0 {
+					if s.Insert(k, 0) {
+						inserts[g]++
+					}
+				} else {
+					if s.Delete(k) {
+						deletes[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	totalIns, totalDel := 0, 0
+	for g := 0; g < threads; g++ {
+		totalIns += inserts[g]
+		totalDel += deletes[g]
+	}
+	if got := s.Len(); got != totalIns-totalDel {
+		t.Fatalf("Len = %d, want inserts-deletes = %d-%d = %d",
+			got, totalIns, totalDel, totalIns-totalDel)
+	}
+}
+
+func TestLFSkipListConcurrentDeleteMinUnique(t *testing.T) {
+	// Concurrent DeleteMin must hand out each element exactly once.
+	s := NewSkipList()
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		s.Insert(i, 0)
+	}
+	const threads = 8
+	results := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				v, ok := s.DeleteMin()
+				if !ok {
+					return
+				}
+				results[g] = append(results[g], v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	count := 0
+	for g, rs := range results {
+		prev := int64(-1)
+		for _, v := range rs {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("thread %d: duplicate or out-of-range %d", g, v)
+			}
+			if v <= prev {
+				t.Fatalf("thread %d: non-monotonic DeleteMin %d then %d", g, prev, v)
+			}
+			seen[v] = true
+			prev = v
+			count++
+		}
+	}
+	if count != n {
+		t.Fatalf("extracted %d elements, want %d", count, n)
+	}
+}
+
+func TestLFSkipListFailedCASGrowsUnderContention(t *testing.T) {
+	s := NewSkipList()
+	const threads, per = 8, 3000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 100)))
+			for i := 0; i < per; i++ {
+				k := int64(rng.Intn(4)) // severe contention
+				if rng.Intn(2) == 0 {
+					s.Insert(k, 0)
+				} else {
+					s.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The counter exists to reproduce the §8.1.3 contention diagnosis; just
+	// assert it's wired up. (On a single-CPU box contention may be light.)
+	t.Logf("failed CAS count under contention: %d", s.FailedCAS())
+}
+
+func BenchmarkTreiberPushPop(b *testing.B) {
+	s := NewTreiberStack[int64]()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				s.Push(i)
+			} else {
+				s.Pop()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkLFSkipListInsertDelete(b *testing.B) {
+	s := NewSkipList()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			k := int64(rng.Intn(200000))
+			if rng.Intn(2) == 0 {
+				s.Insert(k, 0)
+			} else {
+				s.Delete(k)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package lockfree
+
+import "sync/atomic"
+
+// MSQueue is the Michael–Scott lock-free FIFO queue, the standard LF
+// baseline for queue workloads. Enqueue swings the tail with helping;
+// dequeue advances the head past a dummy node.
+type MSQueue[T any] struct {
+	head atomic.Pointer[msNode[T]]
+	tail atomic.Pointer[msNode[T]]
+	len  atomic.Int64
+}
+
+type msNode[T any] struct {
+	value T
+	next  atomic.Pointer[msNode[T]]
+}
+
+// NewMSQueue returns an empty queue.
+func NewMSQueue[T any]() *MSQueue[T] {
+	q := &MSQueue[T]{}
+	dummy := &msNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v at the tail.
+func (q *MSQueue[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us
+		}
+		if next != nil {
+			// Tail is lagging; help swing it forward.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.len.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head element.
+func (q *MSQueue[T]) Dequeue() (T, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			var zero T
+			return zero, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a non-empty queue; help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			q.len.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements.
+func (q *MSQueue[T]) Len() int { return int(q.len.Load()) }

@@ -1,0 +1,112 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMSQueueSequentialFIFO(t *testing.T) {
+	q := NewMSQueue[int64]()
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty = ok")
+	}
+	for i := int64(0); i < 200; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 200 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := int64(0); i < 200; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue after drain = ok")
+	}
+}
+
+func TestMSQueueConcurrentConservation(t *testing.T) {
+	q := NewMSQueue[int64]()
+	const producers, consumers, per = 4, 4, 5000
+	var wg sync.WaitGroup
+	got := make([][]int64, consumers)
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := int64(p * per)
+			for i := 0; i < per; i++ {
+				q.Enqueue(base + int64(i))
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if ok {
+					got[c] = append(got[c], v)
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain what's left.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						got[c] = append(got[c], v)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	seen := map[int64]int{}
+	for c := range got {
+		prev := map[int]int64{}
+		for _, v := range got[c] {
+			seen[v]++
+			// Per-producer FIFO: one consumer must see each producer's
+			// elements in increasing order.
+			p := int(v / per)
+			if last, ok := prev[p]; ok && v <= last {
+				t.Fatalf("consumer %d saw producer %d out of order: %d after %d", c, p, v, last)
+			}
+			prev[p] = v
+		}
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*per)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}
+
+func BenchmarkMSQueue(b *testing.B) {
+	q := NewMSQueue[int64]()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				q.Enqueue(i)
+			} else {
+				q.Dequeue()
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// SkipList is the Herlihy–Shavit lock-free skip list [37, ch. 14.4] over
+// int64 keys with uint64 values. Links carry a logical-deletion mark; a
+// marked bottom-level link is the linearization point of removal. Go has no
+// AtomicMarkableReference, so each link is an atomic pointer to an immutable
+// (successor, mark) box — the same boxing the Java original uses.
+type SkipList struct {
+	head      *lfNode
+	tail      *lfNode
+	failedCAS atomic.Uint64 // §8.1.3 reports failed CASes under contention
+	rngPool   sync.Pool
+}
+
+const lfMaxLevel = 24
+
+type lfSucc struct {
+	next   *lfNode
+	marked bool
+}
+
+type lfNode struct {
+	key      int64
+	value    uint64
+	topLevel int
+	next     [lfMaxLevel]atomic.Pointer[lfSucc]
+}
+
+// NewSkipList returns an empty lock-free skip list.
+func NewSkipList() *SkipList {
+	s := &SkipList{
+		head: &lfNode{key: -1 << 62, topLevel: lfMaxLevel - 1},
+		tail: &lfNode{key: 1<<62 - 1, topLevel: lfMaxLevel - 1},
+	}
+	for i := 0; i < lfMaxLevel; i++ {
+		s.head.next[i].Store(&lfSucc{next: s.tail})
+		// The tail sentinel needs valid link boxes: traversals load a
+		// node's successor box before comparing its key.
+		s.tail.next[i].Store(&lfSucc{})
+	}
+	s.rngPool.New = func() any { return rand.New(rand.NewSource(rand.Int63())) }
+	return s
+}
+
+// FailedCAS returns the number of failed CAS attempts observed, the
+// contention signal the paper reports for zipfian keys (§8.1.3).
+func (s *SkipList) FailedCAS() uint64 { return s.failedCAS.Load() }
+
+func (s *SkipList) randomLevel() int {
+	r := s.rngPool.Get().(*rand.Rand)
+	lvl := 0
+	for r.Int63()&1 == 1 && lvl < lfMaxLevel-1 {
+		lvl++
+	}
+	s.rngPool.Put(r)
+	return lvl
+}
+
+// find locates preds/succs for key at every level, physically unlinking
+// marked nodes it encounters. Returns whether an unmarked node with the key
+// sits at the bottom level.
+func (s *SkipList) find(key int64, preds, succs *[lfMaxLevel]*lfNode) bool {
+retry:
+	for {
+		pred := s.head
+		for level := lfMaxLevel - 1; level >= 0; level-- {
+			curr := pred.next[level].Load().next
+			for {
+				box := curr.next[level].Load()
+				for box.marked {
+					// Help unlink the marked node.
+					predBox := pred.next[level].Load()
+					if predBox.marked || predBox.next != curr {
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(predBox, &lfSucc{next: box.next}) {
+						s.failedCAS.Add(1)
+						continue retry
+					}
+					curr = box.next
+					box = curr.next[level].Load()
+				}
+				if curr.key < key {
+					pred = curr
+					curr = box.next
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0] != s.tail && succs[0].key == key
+	}
+}
+
+// Insert adds key→value, reporting whether the key was newly inserted.
+// An existing key keeps its old value (set semantics, as in the benchmark).
+func (s *SkipList) Insert(key int64, value uint64) bool {
+	topLevel := s.randomLevel()
+	var preds, succs [lfMaxLevel]*lfNode
+	for {
+		if s.find(key, &preds, &succs) {
+			return false
+		}
+		n := &lfNode{key: key, value: value, topLevel: topLevel}
+		for level := 0; level <= topLevel; level++ {
+			n.next[level].Store(&lfSucc{next: succs[level]})
+		}
+		// Linearization: CAS the bottom-level link.
+		predBox := preds[0].next[0].Load()
+		if predBox.marked || predBox.next != succs[0] {
+			s.failedCAS.Add(1)
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(predBox, &lfSucc{next: n}) {
+			s.failedCAS.Add(1)
+			continue
+		}
+		// Link the upper levels, retrying via find as needed.
+		for level := 1; level <= topLevel; level++ {
+			for {
+				box := n.next[level].Load()
+				if box.marked {
+					break // node was concurrently removed; stop linking
+				}
+				pred, succ := preds[level], succs[level]
+				if box.next != succ {
+					if !n.next[level].CompareAndSwap(box, &lfSucc{next: succ}) {
+						s.failedCAS.Add(1)
+						break
+					}
+				}
+				predBox := pred.next[level].Load()
+				if !predBox.marked && predBox.next == succ &&
+					pred.next[level].CompareAndSwap(predBox, &lfSucc{next: n}) {
+					break
+				}
+				s.failedCAS.Add(1)
+				if s.find(key, &preds, &succs) {
+					// Still present; refreshed preds/succs.
+					if succs[level] == nil {
+						break
+					}
+					continue
+				}
+				// Node got removed while we were linking; abandon.
+				return true
+			}
+			if n.next[level].Load().marked {
+				break
+			}
+		}
+		return true
+	}
+}
+
+// Delete removes key, reporting whether this call removed it.
+func (s *SkipList) Delete(key int64) bool {
+	var preds, succs [lfMaxLevel]*lfNode
+	for {
+		if !s.find(key, &preds, &succs) {
+			return false
+		}
+		victim := succs[0]
+		// Mark the upper levels top-down.
+		for level := victim.topLevel; level >= 1; level-- {
+			box := victim.next[level].Load()
+			for !box.marked {
+				if victim.next[level].CompareAndSwap(box, &lfSucc{next: box.next, marked: true}) {
+					break
+				}
+				s.failedCAS.Add(1)
+				box = victim.next[level].Load()
+			}
+		}
+		// Linearization: mark the bottom level; exactly one thread wins.
+		for {
+			box := victim.next[0].Load()
+			if box.marked {
+				return false // another thread removed it
+			}
+			if victim.next[0].CompareAndSwap(box, &lfSucc{next: box.next, marked: true}) {
+				s.find(key, &preds, &succs) // physically unlink
+				return true
+			}
+			s.failedCAS.Add(1)
+		}
+	}
+}
+
+// Get returns the value stored under key, traversing wait-free.
+func (s *SkipList) Get(key int64) (uint64, bool) {
+	pred := s.head
+	var curr *lfNode
+	for level := lfMaxLevel - 1; level >= 0; level-- {
+		curr = pred.next[level].Load().next
+		for {
+			box := curr.next[level].Load()
+			for box.marked {
+				curr = box.next
+				box = curr.next[level].Load()
+			}
+			if curr.key < key {
+				pred = curr
+				curr = box.next
+			} else {
+				break
+			}
+		}
+	}
+	if curr != s.tail && curr.key == key {
+		return curr.value, true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (s *SkipList) Contains(key int64) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Min returns the smallest unmarked key without removing it.
+func (s *SkipList) Min() (int64, bool) {
+	curr := s.head.next[0].Load().next
+	for curr != s.tail {
+		box := curr.next[0].Load()
+		if !box.marked {
+			return curr.key, true
+		}
+		curr = box.next
+	}
+	return 0, false
+}
+
+// DeleteMin removes and returns the smallest key (Lotan–Shavit style:
+// logically delete the first unmarked node, then physically unlink).
+func (s *SkipList) DeleteMin() (int64, bool) {
+	for {
+		curr := s.head.next[0].Load().next
+		for curr != s.tail {
+			box := curr.next[0].Load()
+			if box.marked {
+				curr = box.next
+				continue
+			}
+			// Mark upper levels first, as in Delete.
+			for level := curr.topLevel; level >= 1; level-- {
+				b := curr.next[level].Load()
+				for !b.marked {
+					if curr.next[level].CompareAndSwap(b, &lfSucc{next: b.next, marked: true}) {
+						break
+					}
+					s.failedCAS.Add(1)
+					b = curr.next[level].Load()
+				}
+			}
+			b := curr.next[0].Load()
+			if !b.marked && curr.next[0].CompareAndSwap(b, &lfSucc{next: b.next, marked: true}) {
+				var preds, succs [lfMaxLevel]*lfNode
+				s.find(curr.key, &preds, &succs) // physically unlink
+				return curr.key, true
+			}
+			s.failedCAS.Add(1)
+			curr = curr.next[0].Load().next
+		}
+		return 0, false
+	}
+}
+
+// Len counts unmarked nodes; O(n), for tests.
+func (s *SkipList) Len() int {
+	n := 0
+	curr := s.head.next[0].Load().next
+	for curr != s.tail {
+		box := curr.next[0].Load()
+		if !box.marked {
+			n++
+		}
+		curr = box.next
+	}
+	return n
+}

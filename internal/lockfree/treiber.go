@@ -1,0 +1,58 @@
+// Package lockfree implements the lock-free (LF) baselines the paper
+// compares against: Treiber's stack [61] and the Herlihy–Shavit lock-free
+// skip list [37], used both as a set/dictionary and as a priority queue.
+//
+// As in the paper's evaluation, no safe-memory-reclamation scheme (hazard
+// pointers / epochs) is layered on top; Go's garbage collector plays that
+// role, which if anything flatters the LF baseline exactly the way the
+// paper's measurements do (§8: "the reported numbers for LF are
+// optimistic").
+package lockfree
+
+import "sync/atomic"
+
+// TreiberStack is Treiber's classic lock-free stack: a CAS on the top
+// pointer per push/pop.
+type TreiberStack[T any] struct {
+	top atomic.Pointer[treiberNode[T]]
+	len atomic.Int64
+}
+
+type treiberNode[T any] struct {
+	value T
+	next  *treiberNode[T]
+}
+
+// NewTreiberStack returns an empty stack.
+func NewTreiberStack[T any]() *TreiberStack[T] { return &TreiberStack[T]{} }
+
+// Push adds v to the top of the stack.
+func (s *TreiberStack[T]) Push(v T) {
+	n := &treiberNode[T]{value: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			s.len.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top element.
+func (s *TreiberStack[T]) Pop() (T, bool) {
+	for {
+		old := s.top.Load()
+		if old == nil {
+			var zero T
+			return zero, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			s.len.Add(-1)
+			return old.value, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements.
+func (s *TreiberStack[T]) Len() int { return int(s.len.Load()) }

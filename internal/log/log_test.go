@@ -1,0 +1,295 @@
+package log
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](1, 1); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, err := New[int](8, 0); err == nil {
+		t.Error("maxBatch 0 accepted")
+	}
+	if _, err := New[int](8, 5); err == nil {
+		t.Error("maxBatch > size/2 accepted")
+	}
+	l, err := New[int](8, 4)
+	if err != nil {
+		t.Fatalf("New(8,4) = %v", err)
+	}
+	if l.Size() != 8 {
+		t.Errorf("Size = %d, want 8", l.Size())
+	}
+}
+
+func TestReserveFillGet(t *testing.T) {
+	l, _ := New[int](16, 4)
+	lt := l.RegisterReplica()
+	start := l.Reserve(3)
+	if start != 0 {
+		t.Fatalf("first Reserve = %d, want 0", start)
+	}
+	if _, ok := l.Get(0); ok {
+		t.Error("Get on unfilled entry = ok (hole must read empty)")
+	}
+	for i := uint64(0); i < 3; i++ {
+		l.Fill(start+i, int(100+i))
+	}
+	for i := uint64(0); i < 3; i++ {
+		op, ok := l.Get(start + i)
+		if !ok || op != int(100+i) {
+			t.Fatalf("Get(%d) = %d,%v", i, op, ok)
+		}
+	}
+	if l.Tail() != 3 {
+		t.Errorf("Tail = %d, want 3", l.Tail())
+	}
+	lt.Store(3)
+}
+
+func TestReservePanicsOnBadSize(t *testing.T) {
+	l, _ := New[int](16, 4)
+	for _, n := range []int{0, -1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reserve(%d) did not panic", n)
+				}
+			}()
+			l.Reserve(n)
+		}()
+	}
+}
+
+func TestAdvanceCompleted(t *testing.T) {
+	l, _ := New[int](16, 4)
+	l.AdvanceCompleted(5)
+	if got := l.Completed(); got != 5 {
+		t.Fatalf("Completed = %d, want 5", got)
+	}
+	l.AdvanceCompleted(3) // must not regress
+	if got := l.Completed(); got != 5 {
+		t.Fatalf("Completed regressed to %d", got)
+	}
+	l.AdvanceCompleted(9)
+	if got := l.Completed(); got != 9 {
+		t.Fatalf("Completed = %d, want 9", got)
+	}
+}
+
+func TestWrapAroundRecycling(t *testing.T) {
+	l, _ := New[int](8, 2)
+	lt := l.RegisterReplica()
+	// Drive several laps around the buffer; the consumer keeps up.
+	for lap := 0; lap < 10; lap++ {
+		for i := 0; i < 4; i++ {
+			start := l.Reserve(2)
+			l.Fill(start, int(start))
+			l.Fill(start+1, int(start+1))
+			// Consume immediately.
+			for j := start; j < start+2; j++ {
+				op, ok := l.Get(j)
+				if !ok || op != int(j) {
+					t.Fatalf("Get(%d) = %d,%v", j, op, ok)
+				}
+				lt.Store(j + 1)
+			}
+		}
+	}
+	if l.Tail() != 80 {
+		t.Errorf("Tail = %d, want 80", l.Tail())
+	}
+	// Old entries must read as empty for their stale indices.
+	if _, ok := l.Get(0); ok {
+		t.Error("recycled entry still readable at old index")
+	}
+}
+
+func TestReserveBlocksWhenFullAndResumes(t *testing.T) {
+	l, _ := New[int](8, 4)
+	lt := l.RegisterReplica()
+	// Fill the buffer completely (2 reservations of 4).
+	for i := 0; i < 2; i++ {
+		s := l.Reserve(4)
+		for j := uint64(0); j < 4; j++ {
+			l.Fill(s+j, 1)
+		}
+	}
+	done := make(chan uint64)
+	go func() { done <- l.Reserve(4) }()
+	select {
+	case s := <-done:
+		t.Fatalf("Reserve succeeded at %d with a full log", s)
+	default:
+	}
+	// Consume one batch; the blocked reservation must complete.
+	lt.Store(4)
+	if s := <-done; s != 8 {
+		t.Fatalf("resumed Reserve = %d, want 8", s)
+	}
+}
+
+func TestWaitGet(t *testing.T) {
+	l, _ := New[int](8, 2)
+	l.RegisterReplica()
+	s := l.Reserve(1)
+	got := make(chan int)
+	go func() { got <- l.WaitGet(s) }()
+	select {
+	case v := <-got:
+		t.Fatalf("WaitGet returned %d before Fill", v)
+	default:
+	}
+	l.Fill(s, 42)
+	if v := <-got; v != 42 {
+		t.Fatalf("WaitGet = %d, want 42", v)
+	}
+}
+
+func TestConcurrentAppendersSeeAllOps(t *testing.T) {
+	// Multiple combiners append concurrently while one consumer replays in
+	// order; every op must be seen exactly once, in log order.
+	const (
+		appenders = 4
+		batches   = 200
+		batchSize = 3
+	)
+	l, _ := New[[2]uint64](64, 8)
+	lt := l.RegisterReplica()
+
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				start := l.Reserve(batchSize)
+				for i := uint64(0); i < batchSize; i++ {
+					l.Fill(start+i, [2]uint64{id, start + i})
+				}
+			}
+		}(uint64(a))
+	}
+
+	total := uint64(appenders * batches * batchSize)
+	seen := make(map[uint64]bool, total)
+	var consumeErr error
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for idx := uint64(0); idx < total; idx++ {
+			op := l.WaitGet(idx)
+			if op[1] != idx {
+				consumeErr = &indexMismatch{idx, op[1]}
+				return
+			}
+			if seen[idx] {
+				consumeErr = &indexMismatch{idx, idx}
+				return
+			}
+			seen[idx] = true
+			lt.Store(idx + 1)
+		}
+	}()
+	wg.Wait()
+	cwg.Wait()
+	if consumeErr != nil {
+		t.Fatal(consumeErr)
+	}
+	if uint64(len(seen)) != total {
+		t.Fatalf("consumed %d ops, want %d", len(seen), total)
+	}
+	if l.Tail() != total {
+		t.Fatalf("Tail = %d, want %d", l.Tail(), total)
+	}
+}
+
+type indexMismatch struct{ want, got uint64 }
+
+func (e *indexMismatch) Error() string { return "log order violated" }
+
+func TestMultipleReplicasGateRecycling(t *testing.T) {
+	l, _ := New[int](8, 2)
+	fast := l.RegisterReplica()
+	slow := l.RegisterReplica()
+	if l.Replicas() != 2 {
+		t.Fatalf("Replicas = %d, want 2", l.Replicas())
+	}
+	// Fill the log; fast replica consumes everything, slow consumes nothing.
+	for i := 0; i < 4; i++ {
+		s := l.Reserve(2)
+		l.Fill(s, 0)
+		l.Fill(s+1, 0)
+	}
+	fast.Store(8)
+	done := make(chan uint64)
+	go func() { done <- l.Reserve(2) }()
+	select {
+	case s := <-done:
+		t.Fatalf("Reserve = %d succeeded despite slow replica", s)
+	default:
+	}
+	slow.Store(8) // slow catches up; space frees
+	if s := <-done; s != 8 {
+		t.Fatalf("Reserve after catch-up = %d, want 8", s)
+	}
+}
+
+func TestCompletedMonotoneProperty(t *testing.T) {
+	f := func(targets []uint16) bool {
+		l, _ := New[int](8, 2)
+		var max uint64
+		for _, v := range targets {
+			l.AdvanceCompleted(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+			if l.Completed() != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	l, _ := New[uint64](1024, 8)
+	if got := l.MemoryBytes(); got < 1024*8 {
+		t.Errorf("MemoryBytes = %d, implausibly small", got)
+	}
+}
+
+func BenchmarkReserveFill(b *testing.B) {
+	l, _ := New[uint64](1<<16, 32)
+	lt := l.RegisterReplica()
+	var consumed atomic.Uint64
+	stop := make(chan struct{})
+	go func() {
+		// Consumer keeps the log from filling.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tail := l.Tail()
+			lt.Store(tail)
+			consumed.Store(tail)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := l.Reserve(1)
+		l.Fill(s, uint64(i))
+	}
+	b.StopTimer()
+	close(stop)
+}

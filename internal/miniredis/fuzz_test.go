@@ -1,0 +1,50 @@
+package miniredis
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand hardens the RESP parser: arbitrary bytes must never
+// panic, and whatever parses must round-trip through the command table
+// without crashing the store.
+func FuzzReadCommand(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("PING\r\n"))
+	f.Add([]byte("*2\r\n$5\r\nZCARD\r\n$1\r\nz\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("*1000000000\r\n"))
+	st := NewStore(1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(strings.NewReader(string(data)))
+		args, err := ReadCommand(r)
+		if err != nil {
+			return
+		}
+		op, errMsg := ParseCommand(args)
+		if errMsg != "" {
+			return
+		}
+		st.Execute(op) // must not panic on any parsed command
+	})
+}
+
+// FuzzParseCommand exercises the argument validation directly.
+func FuzzParseCommand(f *testing.F) {
+	f.Add("ZADD", "key", "1.5", "member")
+	f.Add("ZRANK", "z", "m", "")
+	f.Add("ZRANGE", "key", "0", "-1")
+	f.Add("SET", "", "", "")
+	f.Fuzz(func(t *testing.T, a, b, c, d string) {
+		for _, args := range [][]string{{a}, {a, b}, {a, b, c}, {a, b, c, d}} {
+			op, errMsg := ParseCommand(args)
+			if errMsg != "" {
+				continue
+			}
+			NewStore(2).Execute(op)
+		}
+	})
+}

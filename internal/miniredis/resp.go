@@ -1,0 +1,175 @@
+// Package miniredis is a small in-memory storage server in the style of
+// Redis, built for the paper's macro-benchmark (§8.3): sorted sets backed by
+// a hash table plus a skip list, updated atomically per request, behind a
+// thread pool and a RESP wire protocol. The entire keyspace is a single
+// sequential structure (ds.HashMap of values) made concurrent through NR or
+// any of the baseline methods — the "coupled data structures" case of §6
+// that lock-free algorithms cannot compose.
+package miniredis
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP value type markers.
+const (
+	respSimple = '+'
+	respError  = '-'
+	respInt    = ':'
+	respBulk   = '$'
+	respArray  = '*'
+)
+
+// ErrProtocol reports malformed RESP input.
+var ErrProtocol = errors.New("miniredis: protocol error")
+
+// ReadCommand parses one client command: an array of bulk strings, or an
+// inline command line (space-separated), as Redis accepts both.
+func ReadCommand(r *bufio.Reader) ([]string, error) {
+	first, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if first != respArray {
+		// Inline command.
+		if err := r.UnreadByte(); err != nil {
+			return nil, err
+		}
+		lineBytes, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		return splitInline(trimCRLF(lineBytes)), nil
+	}
+	n, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1024 {
+		return nil, fmt.Errorf("%w: array length %d", ErrProtocol, n)
+	}
+	args := make([]string, 0, n)
+	for i := int64(0); i < n; i++ {
+		marker, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if marker != respBulk {
+			return nil, fmt.Errorf("%w: expected bulk string, got %q", ErrProtocol, marker)
+		}
+		ln, err := readInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if ln < 0 || ln > 64<<20 {
+			return nil, fmt.Errorf("%w: bulk length %d", ErrProtocol, ln)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, fmt.Errorf("%w: bulk string missing CRLF", ErrProtocol)
+		}
+		args = append(args, string(buf[:ln]))
+	}
+	return args, nil
+}
+
+func trimCRLF(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func splitInline(s string) []string {
+	var out []string
+	field := ""
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(s[i])
+	}
+	if field != "" {
+		out = append(out, field)
+	}
+	return out
+}
+
+func readInt(r *bufio.Reader) (int64, error) {
+	s, err := r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(trimCRLF(s), 10, 64)
+}
+
+// Writer emits RESP replies.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w *bufio.Writer) *Writer { return &Writer{w: w} }
+
+// Flush flushes buffered replies.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Simple writes a simple-string reply (+OK).
+func (w *Writer) Simple(s string) error {
+	_, err := fmt.Fprintf(w.w, "+%s\r\n", s)
+	return err
+}
+
+// Error writes an error reply.
+func (w *Writer) Error(msg string) error {
+	_, err := fmt.Fprintf(w.w, "-ERR %s\r\n", msg)
+	return err
+}
+
+// Int writes an integer reply.
+func (w *Writer) Int(v int64) error {
+	_, err := fmt.Fprintf(w.w, ":%d\r\n", v)
+	return err
+}
+
+// Bulk writes a bulk-string reply.
+func (w *Writer) Bulk(s string) error {
+	_, err := fmt.Fprintf(w.w, "$%d\r\n%s\r\n", len(s), s)
+	return err
+}
+
+// Nil writes a null bulk reply.
+func (w *Writer) Nil() error {
+	_, err := w.w.WriteString("$-1\r\n")
+	return err
+}
+
+// Array writes an array of bulk strings.
+func (w *Writer) Array(items []string) error {
+	if _, err := fmt.Fprintf(w.w, "*%d\r\n", len(items)); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := w.Bulk(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatScore renders a float the way Redis does (%.17g trimmed).
+func FormatScore(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	return s
+}

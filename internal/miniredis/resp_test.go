@@ -1,0 +1,146 @@
+package miniredis
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func readerFor(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestReadCommandArray(t *testing.T) {
+	r := readerFor("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n")
+	args, err := ReadCommand(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SET", "k", "hello"}
+	if len(args) != len(want) {
+		t.Fatalf("args = %v", args)
+	}
+	for i := range want {
+		if args[i] != want[i] {
+			t.Fatalf("args = %v, want %v", args, want)
+		}
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := readerFor("PING\r\n")
+	args, err := ReadCommand(r)
+	if err != nil || len(args) != 1 || args[0] != "PING" {
+		t.Fatalf("args=%v err=%v", args, err)
+	}
+	r = readerFor("SET  key   value\n") // extra spaces, bare LF
+	args, err = ReadCommand(r)
+	if err != nil || len(args) != 3 || args[2] != "value" {
+		t.Fatalf("args=%v err=%v", args, err)
+	}
+}
+
+func TestReadCommandBinarySafeBulk(t *testing.T) {
+	r := readerFor("*2\r\n$3\r\nGET\r\n$4\r\na\r\nb\r\n")
+	args, err := ReadCommand(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args[1] != "a\r\nb" {
+		t.Fatalf("bulk with embedded CRLF = %q", args[1])
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	cases := []string{
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk element
+		"*1\r\n$3\r\nGETxx",         // missing CRLF after bulk
+		"*99999\r\n",                // absurd array length
+		"*1\r\n$-5\r\n",             // negative bulk length
+		"*x\r\n",                    // non-numeric length
+	}
+	for _, c := range cases {
+		if _, err := ReadCommand(readerFor(c)); err == nil {
+			t.Errorf("ReadCommand(%q) accepted", c)
+		}
+	}
+}
+
+func TestReadCommandEOF(t *testing.T) {
+	if _, err := ReadCommand(readerFor("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestWriterReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(bufio.NewWriter(&buf))
+	if err := w.Simple("OK"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Error("bad thing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Int(-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bulk("hi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Nil(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Array([]string{"a", "bc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR bad thing\r\n:-7\r\n$2\r\nhi\r\n$-1\r\n*2\r\n$1\r\na\r\n$2\r\nbc\r\n"
+	if got := buf.String(); got != want {
+		t.Errorf("wire output = %q, want %q", got, want)
+	}
+}
+
+func TestFormatScore(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {1.5, "1.5"}, {-3, "-3"}, {0.1, "0.1"},
+	}
+	for _, c := range cases {
+		if got := FormatScore(c.in); got != c.want {
+			t.Errorf("FormatScore(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteResultPerCommand(t *testing.T) {
+	render := func(op StoreOp, res StoreResult) string {
+		var buf bytes.Buffer
+		w := NewWriter(bufio.NewWriter(&buf))
+		if err := WriteResult(w, op, res); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		return buf.String()
+	}
+	if got := render(StoreOp{Cmd: CmdPing}, StoreResult{OK: true}); got != "+PONG\r\n" {
+		t.Errorf("PING reply = %q", got)
+	}
+	if got := render(StoreOp{Cmd: CmdGet}, StoreResult{}); got != "$-1\r\n" {
+		t.Errorf("GET miss reply = %q", got)
+	}
+	if got := render(StoreOp{Cmd: CmdZRank}, StoreResult{OK: true, Int: 3}); got != ":3\r\n" {
+		t.Errorf("ZRANK reply = %q", got)
+	}
+	if got := render(StoreOp{Cmd: CmdZIncrBy}, StoreResult{OK: true, Score: 2.5}); got != "$3\r\n2.5\r\n" {
+		t.Errorf("ZINCRBY reply = %q", got)
+	}
+	if got := render(StoreOp{Cmd: CmdZAdd}, StoreResult{Err: "boom"}); got != "-ERR boom\r\n" {
+		t.Errorf("error reply = %q", got)
+	}
+	if got := render(StoreOp{Cmd: CmdZRange}, StoreResult{OK: true, Members: []string{"m"}}); got != "*1\r\n$1\r\nm\r\n" {
+		t.Errorf("ZRANGE reply = %q", got)
+	}
+}

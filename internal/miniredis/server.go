@@ -1,0 +1,192 @@
+package miniredis
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/asplos17/nr/internal/baseline"
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// Shared is the concurrent keyspace interface (NR or a baseline wrapper).
+type Shared = baseline.Shared[StoreOp, StoreResult]
+
+// Method names accepted by NewShared.
+const (
+	MethodNR  = "nr"
+	MethodSL  = "sl"
+	MethodRWL = "rwl"
+	MethodFC  = "fc"
+	MethodFCP = "fc+"
+)
+
+// NewShared builds a concurrent keyspace with the given method. Seed fixes
+// replica determinism; topo sizes NR's replicas and the lock/slot arrays.
+func NewShared(method string, topo topology.Topology, seed uint64) (Shared, error) {
+	maxThreads := topo.TotalThreads()
+	switch method {
+	case MethodNR:
+		inst, err := core.New[StoreOp, StoreResult](
+			func() core.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
+			core.Options{Topology: topo})
+		if err != nil {
+			return nil, err
+		}
+		return &baseline.NRAdapter[StoreOp, StoreResult]{Inst: inst}, nil
+	case MethodSL:
+		return baseline.NewSpinLocked[StoreOp, StoreResult](NewStore(seed)), nil
+	case MethodRWL:
+		return baseline.NewRWLocked[StoreOp, StoreResult](NewStore(seed), maxThreads), nil
+	case MethodFC:
+		return baseline.NewFlatCombining[StoreOp, StoreResult](NewStore(seed), maxThreads), nil
+	case MethodFCP:
+		return baseline.NewFlatCombiningPlus[StoreOp, StoreResult](NewStore(seed), maxThreads), nil
+	}
+	return nil, fmt.Errorf("miniredis: unknown method %q", method)
+}
+
+// request is one parsed command awaiting execution by the pool.
+type request struct {
+	op   StoreOp
+	resp chan StoreResult
+}
+
+// Server is a RESP server: connections parse commands and hand them to a
+// worker pool; each worker owns a registered executor (the paper's
+// thread-pool structure, §7).
+type Server struct {
+	shared  Shared
+	ln      net.Listener
+	queue   chan request
+	wg      sync.WaitGroup
+	connsWG sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewServer builds a server over the shared keyspace with the given worker
+// count.
+func NewServer(shared Shared, workers int) (*Server, error) {
+	if workers < 1 {
+		return nil, errors.New("miniredis: need at least one worker")
+	}
+	s := &Server{shared: shared, queue: make(chan request, 1024)}
+	for i := 0; i < workers; i++ {
+		ex, err := shared.Register()
+		if err != nil {
+			return nil, fmt.Errorf("miniredis: registering worker %d: %w", i, err)
+		}
+		s.wg.Add(1)
+		go s.worker(ex)
+	}
+	return s, nil
+}
+
+func (s *Server) worker(ex baseline.Executor[StoreOp, StoreResult]) {
+	defer s.wg.Done()
+	for req := range s.queue {
+		req.resp <- ex.Execute(req.op)
+	}
+}
+
+// Serve accepts connections on addr until Close. It returns the bound
+// address through the provided callback (nil allowed) so callers can use
+// port 0.
+func (s *Server) Serve(addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("miniredis: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connsWG.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.connsWG.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := NewWriter(bufio.NewWriter(conn))
+	respCh := make(chan StoreResult, 1)
+	for {
+		args, err := ReadCommand(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				_ = w.Error("protocol error")
+				_ = w.Flush()
+			}
+			return
+		}
+		op, errMsg := ParseCommand(args)
+		if errMsg != "" {
+			if err := w.Error(errMsg); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		s.queue <- request{op: op, resp: respCh}
+		res := <-respCh
+		if err := WriteResult(w, op, res); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, waits for open connections to finish their current
+// commands, and stops the workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.connsWG.Wait()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Direct returns an executor for in-process benchmarking — the paper's
+// "invoke Redis's operations directly at the server after the RPC layer"
+// (§8.3).
+func (s *Server) Direct() (baseline.Executor[StoreOp, StoreResult], error) {
+	return s.shared.Register()
+}

@@ -1,0 +1,221 @@
+package miniredis
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/asplos17/nr/internal/topology"
+)
+
+func startServer(t *testing.T, method string) (*Server, net.Addr) {
+	t.Helper()
+	shared, err := NewShared(method, topology.New(2, 4, 1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(shared, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan net.Addr, 1)
+	go func() {
+		if err := srv.Serve("127.0.0.1:0", func(a net.Addr) { addrCh <- a }); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	addr := <-addrCh
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+// client is a minimal RESP client for tests.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr net.Addr) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+	}
+	if _, err := c.conn.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	return c.readReply(t)
+}
+
+func (c *client) readReply(t *testing.T) string {
+	t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	switch line[0] {
+	case '+', '-', ':':
+		return line
+	case '$':
+		if line == "$-1" {
+			return "(nil)"
+		}
+		data, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(data, "\r\n")
+	case '*':
+		var n int
+		fmt.Sscanf(line, "*%d", &n)
+		items := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, c.readReply(t))
+		}
+		return strings.Join(items, ",")
+	}
+	t.Fatalf("unexpected reply %q", line)
+	return ""
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, addr := startServer(t, MethodNR)
+	c := dial(t, addr)
+	if got := c.cmd(t, "PING"); got != "+PONG" {
+		t.Errorf("PING = %q", got)
+	}
+	if got := c.cmd(t, "SET", "greeting", "hello"); got != "+OK" {
+		t.Errorf("SET = %q", got)
+	}
+	if got := c.cmd(t, "GET", "greeting"); got != "hello" {
+		t.Errorf("GET = %q", got)
+	}
+	if got := c.cmd(t, "GET", "missing"); got != "(nil)" {
+		t.Errorf("GET missing = %q", got)
+	}
+	if got := c.cmd(t, "ZADD", "board", "10", "alice"); got != ":1" {
+		t.Errorf("ZADD = %q", got)
+	}
+	c.cmd(t, "ZADD", "board", "5", "bob")
+	c.cmd(t, "ZADD", "board", "15", "carol")
+	if got := c.cmd(t, "ZRANK", "board", "alice"); got != ":1" {
+		t.Errorf("ZRANK = %q", got)
+	}
+	if got := c.cmd(t, "ZINCRBY", "board", "20", "bob"); got != "25" {
+		t.Errorf("ZINCRBY = %q", got)
+	}
+	if got := c.cmd(t, "ZRANGE", "board", "0", "-1"); got != "alice,carol,bob" {
+		t.Errorf("ZRANGE = %q", got)
+	}
+	if got := c.cmd(t, "ZRANGE", "board", "0", "0", "WITHSCORES"); got != "alice,10" {
+		t.Errorf("ZRANGE WITHSCORES = %q", got)
+	}
+	if got := c.cmd(t, "ZCARD", "board"); got != ":3" {
+		t.Errorf("ZCARD = %q", got)
+	}
+	if got := c.cmd(t, "DBSIZE"); got != ":2" {
+		t.Errorf("DBSIZE = %q", got)
+	}
+	if got := c.cmd(t, "BOGUS"); !strings.HasPrefix(got, "-ERR") {
+		t.Errorf("BOGUS = %q", got)
+	}
+	if got := c.cmd(t, "ZADD", "greeting", "1", "m"); !strings.HasPrefix(got, "-ERR WRONGTYPE") {
+		t.Errorf("type confusion = %q", got)
+	}
+}
+
+func TestServerInlineCommands(t *testing.T) {
+	_, addr := startServer(t, MethodSL)
+	c := dial(t, addr)
+	if _, err := c.conn.Write([]byte("PING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.readReply(t); got != "+PONG" {
+		t.Errorf("inline PING = %q", got)
+	}
+}
+
+func TestServerAllMethods(t *testing.T) {
+	for _, method := range []string{MethodNR, MethodSL, MethodRWL, MethodFC, MethodFCP} {
+		t.Run(method, func(t *testing.T) {
+			_, addr := startServer(t, method)
+			c := dial(t, addr)
+			c.cmd(t, "ZADD", "s", "1", "x")
+			if got := c.cmd(t, "ZSCORE", "s", "x"); got != "1" {
+				t.Errorf("%s: ZSCORE = %q", method, got)
+			}
+		})
+	}
+	if _, err := NewShared("bogus", topology.New(1, 1, 1), 1); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, MethodNR)
+	const clients, per = 6, 200
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		c := dial(t, addr)
+		wg.Add(1)
+		go func(g int, c *client) {
+			defer wg.Done()
+			member := fmt.Sprintf("m%d", g)
+			for i := 0; i < per; i++ {
+				c.cmd(t, "ZINCRBY", "hot", "1", member)
+			}
+		}(g, c)
+	}
+	wg.Wait()
+	c := dial(t, addr)
+	if got := c.cmd(t, "ZCARD", "hot"); got != fmt.Sprintf(":%d", clients) {
+		t.Errorf("ZCARD = %q, want %d members", got, clients)
+	}
+	for g := 0; g < clients; g++ {
+		if got := c.cmd(t, "ZSCORE", "hot", fmt.Sprintf("m%d", g)); got != fmt.Sprintf("%d", per) {
+			t.Errorf("member m%d score = %q, want %d", g, got, per)
+		}
+	}
+}
+
+func TestServerDirect(t *testing.T) {
+	shared, err := NewShared(MethodNR, topology.New(2, 2, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(shared, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ex, err := srv.Direct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Execute(StoreOp{Cmd: CmdZAdd, Key: "z", Member: "m", Score: 2})
+	if r := ex.Execute(StoreOp{Cmd: CmdZRank, Key: "z", Member: "m"}); !r.OK || r.Int != 0 {
+		t.Errorf("direct ZRANK = %+v", r)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	shared, _ := NewShared(MethodSL, topology.New(1, 1, 1), 1)
+	if _, err := NewServer(shared, 0); err == nil {
+		t.Error("0 workers accepted")
+	}
+}

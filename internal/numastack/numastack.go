@@ -1,0 +1,158 @@
+// Package numastack implements the NA baseline of Fig. 8: a NUMA-aware
+// stack in the style of Calciu, Gottschlich and Herlihy [17]. Within a NUMA
+// node, concurrent pushes and pops eliminate against each other through a
+// per-node exchanger array, so matched pairs complete with no global
+// synchronization; unmatched operations fall back to a shared Treiber stack.
+//
+// Elimination is linearizable for stacks: a push/pop pair that exchange
+// directly can be linearized back-to-back at the moment of exchange.
+package numastack
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asplos17/nr/internal/ds"
+	"github.com/asplos17/nr/internal/lockfree"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// offer is one pending push; the box pointer's identity makes exchanges
+// ABA-free.
+type offer struct {
+	value int64
+}
+
+// exchanger is a single elimination slot on its own cache line.
+type exchanger struct {
+	p atomic.Pointer[offer]
+	_ [56]byte
+}
+
+// Stack is the NUMA-aware elimination stack.
+type Stack struct {
+	topo    topology.Topology
+	central *lockfree.TreiberStack[int64]
+	// exchangers[node] is that node's elimination array.
+	exchangers [][]exchanger
+
+	mu         sync.Mutex
+	place      *topology.Placement
+	eliminated atomic.Uint64
+	centralOps atomic.Uint64
+}
+
+// spinBudget bounds how long a push offer waits for a matching pop before
+// falling back to the central stack.
+const spinBudget = 64
+
+// New returns an empty stack for the given topology, with slotsPerNode
+// elimination slots on each node.
+func New(topo topology.Topology, slotsPerNode int) *Stack {
+	if slotsPerNode < 1 {
+		slotsPerNode = 1
+	}
+	s := &Stack{
+		topo:    topo,
+		central: lockfree.NewTreiberStack[int64](),
+		place:   topology.NewFillPlacement(topo),
+	}
+	for n := 0; n < topo.Nodes(); n++ {
+		s.exchangers = append(s.exchangers, make([]exchanger, slotsPerNode))
+	}
+	return s
+}
+
+// Handle binds a thread to its node's elimination array.
+type Handle struct {
+	s    *Stack
+	node int
+}
+
+// Register places the calling thread on the next node (fill policy).
+func (s *Stack) Register() (*Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.place.Assigned() >= s.topo.TotalThreads() {
+		return nil, errors.New("numastack: all hardware threads registered")
+	}
+	_, node := s.place.Next()
+	return &Handle{s: s, node: node}, nil
+}
+
+// Stats returns (operations that eliminated, operations that went central).
+func (s *Stack) Stats() (eliminated, central uint64) {
+	return s.eliminated.Load(), s.centralOps.Load()
+}
+
+// Len returns the number of elements in the central stack (pending offers
+// are in-flight pushes and not counted).
+func (s *Stack) Len() int { return s.central.Len() }
+
+// Push adds v to the stack.
+func (h *Handle) Push(v int64) {
+	s := h.s
+	slots := s.exchangers[h.node]
+	myOffer := &offer{value: v}
+	for {
+		// Post the offer in the node's elimination array.
+		posted := -1
+		for i := range slots {
+			if slots[i].p.Load() == nil && slots[i].p.CompareAndSwap(nil, myOffer) {
+				posted = i
+				break
+			}
+		}
+		if posted >= 0 {
+			for spin := 0; spin < spinBudget; spin++ {
+				if slots[posted].p.Load() != myOffer {
+					s.eliminated.Add(1)
+					return // a local pop took it
+				}
+				runtime.Gosched()
+			}
+			// Timed out: withdraw; a concurrent taker beats the withdrawal.
+			if !slots[posted].p.CompareAndSwap(myOffer, nil) {
+				s.eliminated.Add(1)
+				return
+			}
+		}
+		// No match on this node: use the central stack.
+		s.central.Push(v)
+		s.centralOps.Add(1)
+		return
+	}
+}
+
+// Pop removes and returns the top element. It first tries to catch a
+// same-node pending push (elimination), then falls back to the central
+// stack.
+func (h *Handle) Pop() (int64, bool) {
+	s := h.s
+	slots := s.exchangers[h.node]
+	for i := range slots {
+		if o := slots[i].p.Load(); o != nil && slots[i].p.CompareAndSwap(o, nil) {
+			s.eliminated.Add(1)
+			return o.value, true
+		}
+	}
+	v, ok := s.central.Pop()
+	s.centralOps.Add(1)
+	return v, ok
+}
+
+// Execute adapts the stack to the ds.StackOp interface used by the
+// benchmark harness.
+func (h *Handle) Execute(op ds.StackOp) ds.StackResult {
+	switch op.Kind {
+	case ds.StackPush:
+		h.Push(op.Value)
+		return ds.StackResult{Value: op.Value, OK: true}
+	case ds.StackPop:
+		v, ok := h.Pop()
+		return ds.StackResult{Value: v, OK: ok}
+	}
+	return ds.StackResult{}
+}

@@ -1,0 +1,117 @@
+package numastack
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/asplos17/nr/internal/ds"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+func TestSequentialPushPop(t *testing.T) {
+	s := New(topology.New(2, 2, 1), 2)
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty = ok")
+	}
+	for i := int64(0); i < 50; i++ {
+		h.Push(i)
+	}
+	// A single thread never matches its own offers (it withdraws before
+	// popping), so ordering through the central stack is LIFO.
+	for i := int64(49); i >= 0; i-- {
+		v, ok := h.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+}
+
+func TestRegisterLimit(t *testing.T) {
+	s := New(topology.New(1, 2, 1), 2)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Register(); err != nil {
+			t.Fatalf("Register #%d: %v", i, err)
+		}
+	}
+	if _, err := s.Register(); err == nil {
+		t.Error("over-registration succeeded")
+	}
+}
+
+func TestSlotsClamped(t *testing.T) {
+	s := New(topology.New(1, 1, 1), 0)
+	if len(s.exchangers[0]) != 1 {
+		t.Errorf("slots = %d, want clamp to 1", len(s.exchangers[0]))
+	}
+}
+
+func TestConcurrentElementConservation(t *testing.T) {
+	// Under a concurrent push/pop mix, every pushed element is popped
+	// exactly once or remains in the stack (whether it traveled through
+	// elimination or the central stack).
+	s := New(topology.New(2, 5, 1), 4)
+	const threads, per = 8, 4000
+	popped := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		h, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, h *Handle) {
+			defer wg.Done()
+			base := int64(g * per)
+			for i := 0; i < per; i++ {
+				h.Push(base + int64(i))
+				if v, ok := h.Pop(); ok {
+					popped[g] = append(popped[g], v)
+				}
+			}
+		}(g, h)
+	}
+	wg.Wait()
+	seen := map[int64]int{}
+	for _, ps := range popped {
+		for _, v := range ps {
+			seen[v]++
+		}
+	}
+	// Drain leftovers. Push never leaves an offer behind (it withdraws
+	// before going central), so everything left is in the central stack.
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ok := h.Pop(); ok; v, ok = h.Pop() {
+		seen[v]++
+	}
+	if len(seen) != threads*per {
+		t.Fatalf("saw %d distinct elements, want %d", len(seen), threads*per)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d seen %d times", v, n)
+		}
+	}
+	elim, central := s.Stats()
+	t.Logf("eliminated=%d central=%d", elim, central)
+}
+
+func TestExecuteAdapter(t *testing.T) {
+	s := New(topology.New(1, 2, 1), 2)
+	h, _ := s.Register()
+	if r := h.Execute(ds.StackOp{Kind: ds.StackPush, Value: 3}); !r.OK {
+		t.Error("push !OK")
+	}
+	if r := h.Execute(ds.StackOp{Kind: ds.StackPop}); !r.OK || r.Value != 3 {
+		t.Errorf("pop = %+v, want 3", r)
+	}
+	if r := h.Execute(ds.StackOp{Kind: ds.StackPop}); r.OK {
+		t.Error("pop on empty = OK")
+	}
+}

@@ -1,0 +1,173 @@
+// Package rwlock implements the paper's "better readers-writer lock" (§5.5):
+// a distributed readers-writer lock derived from Vyukov's per-reader design
+// [2], extended with a writer flag so that the writer does not acquire the
+// per-reader locks — it sets its flag and waits for every reader lock to
+// drain. Writer and readers each perform a single atomic write on distinct
+// cache lines to enter the critical section.
+//
+// The package also ships a Centralized lock with the same interface so the
+// ablation experiment (technique #5 in Fig. 13/14) can swap implementations.
+package rwlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Lock is the common interface over the distributed and centralized
+// readers-writer locks. Readers identify themselves with a slot index so the
+// distributed variant can give each reader its own cache line.
+type Lock interface {
+	// RLock acquires the lock in read mode for reader slot.
+	RLock(slot int)
+	// RUnlock releases read mode for reader slot.
+	RUnlock(slot int)
+	// Lock acquires the lock in write mode.
+	Lock()
+	// TryLock attempts write mode without blocking on other writers,
+	// reporting success.
+	TryLock() bool
+	// Unlock releases write mode.
+	Unlock()
+}
+
+// padded is one per-reader flag on its own cache line.
+type padded struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// Distributed is the paper's lock: per-reader flags plus one writer flag.
+//
+// Writer protocol: set writer flag (one atomic write); wait until all reader
+// flags are clear. Reader protocol: wait while writer flag is set; set own
+// flag (one atomic write); re-check writer flag — if now set, clear own flag
+// and restart, else enter. Readers may starve under a stream of writers, but
+// with NR only the combiner writes and it has substantial work outside the
+// critical section (§5.5).
+type Distributed struct {
+	writer  atomic.Int32
+	_       [60]byte
+	readers []padded
+}
+
+// NewDistributed returns a lock supporting reader slots 0..slots-1.
+func NewDistributed(slots int) *Distributed {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Distributed{readers: make([]padded, slots)}
+}
+
+// Slots returns the number of reader slots.
+func (l *Distributed) Slots() int { return len(l.readers) }
+
+// RLock acquires read mode for reader slot.
+func (l *Distributed) RLock(slot int) {
+	r := &l.readers[slot]
+	for {
+		// Wait for any active writer.
+		for l.writer.Load() != 0 {
+			runtime.Gosched()
+		}
+		r.v.Store(1)
+		if l.writer.Load() == 0 {
+			return // entered; writer will see our flag
+		}
+		// A writer raced in; back off and retry.
+		r.v.Store(0)
+	}
+}
+
+// RUnlock releases read mode for reader slot.
+func (l *Distributed) RUnlock(slot int) {
+	l.readers[slot].v.Store(0)
+}
+
+// Lock acquires write mode. Concurrent writers serialize on the writer flag.
+func (l *Distributed) Lock() {
+	for !l.writer.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	for i := range l.readers {
+		for l.readers[i].v.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases write mode.
+func (l *Distributed) Unlock() {
+	l.writer.Store(0)
+}
+
+// TryLock attempts to acquire write mode without blocking on other writers;
+// it still waits for readers to drain once the flag is won.
+func (l *Distributed) TryLock() bool {
+	if !l.writer.CompareAndSwap(0, 1) {
+		return false
+	}
+	for i := range l.readers {
+		for l.readers[i].v.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+// Centralized adapts sync.RWMutex to the slot-based interface. It is the
+// "standard readers-writer lock" baseline the ablation study compares
+// against (Fig. 13, technique #5).
+type Centralized struct {
+	mu sync.RWMutex
+}
+
+// NewCentralized returns a centralized readers-writer lock.
+func NewCentralized() *Centralized { return &Centralized{} }
+
+// RLock acquires read mode; the slot is ignored.
+func (l *Centralized) RLock(int) { l.mu.RLock() }
+
+// RUnlock releases read mode; the slot is ignored.
+func (l *Centralized) RUnlock(int) { l.mu.RUnlock() }
+
+// Lock acquires write mode.
+func (l *Centralized) Lock() { l.mu.Lock() }
+
+// TryLock attempts write mode without blocking.
+func (l *Centralized) TryLock() bool { return l.mu.TryLock() }
+
+// Unlock releases write mode.
+func (l *Centralized) Unlock() { l.mu.Unlock() }
+
+// SpinMutex is a test-and-test-and-set spinlock: the "one big lock" (SL)
+// baseline of Fig. 4 and the combiner lock inside NR.
+type SpinMutex struct {
+	state atomic.Int32
+	_     [60]byte
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (m *SpinMutex) TryLock() bool {
+	return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1)
+}
+
+// Lock spins until the lock is acquired.
+func (m *SpinMutex) Lock() {
+	for {
+		if m.TryLock() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (m *SpinMutex) Unlock() {
+	m.state.Store(0)
+}
+
+// Locked reports whether the lock is currently held (racy; for waiters that
+// poll, as non-combiner threads do in NR's Combine loop).
+func (m *SpinMutex) Locked() bool { return m.state.Load() != 0 }

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// The model tests assert the qualitative results of §8 — who wins, where
+// the crossovers fall — using the calibrated profiles from internal/bench
+// (duplicated here to avoid an import cycle).
+
+var (
+	pqProfile = Profile{NLines: 20000, UpdateCLines: 8, ReadCLines: 2, UpdateNs: 60, ReadNs: 20,
+		UpdateHotPermille: 500, ReadHotPermille: 1000, HotLines: 1, HotPathLines: 4}
+	dictZipfProfile = Profile{NLines: 20000, UpdateCLines: 14, ReadCLines: 14, UpdateNs: 120, ReadNs: 90,
+		UpdateHotPermille: 550, ReadHotPermille: 550, HotLines: 2, HotPathLines: 16, LFWriteLines: 10}
+	dictUniformProfile = Profile{NLines: 20000, UpdateCLines: 14, ReadCLines: 14, UpdateNs: 120, ReadNs: 90}
+	stackProfile       = Profile{NLines: 4096, UpdateCLines: 2, ReadCLines: 1, UpdateNs: 15, ReadNs: 10,
+		UpdateHotPermille: 1000, ReadHotPermille: 1000, HotLines: 1, HotPathLines: 2}
+)
+
+func intel() *Sim { return New(topology.Intel4x14x2(), IntelCosts()) }
+
+func opsPerUs(f func(*Sim) Result) float64 {
+	return f(intel()).OpsPerUs()
+}
+
+func runAt(threads, updPermille int, p Profile) Run {
+	return Run{Threads: threads, OpsPerThread: 1000, UpdatePermille: updPermille}
+}
+
+func TestFig5bShape_NRBestAfterOneNode(t *testing.T) {
+	// 10% updates: beyond one NUMA node NR dominates every lock-based
+	// method (Fig. 5b: 1.7x-41x at max threads).
+	r := runAt(112, 100, pqProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, NROpts{}) })
+	for _, m := range []struct {
+		name string
+		f    func(*Sim) Result
+	}{
+		{"SL", func(s *Sim) Result { return RunSL(s, pqProfile, r) }},
+		{"RWL", func(s *Sim) Result { return RunRWL(s, pqProfile, r) }},
+		{"FC", func(s *Sim) Result { return RunFC(s, pqProfile, r, false) }},
+		{"FC+", func(s *Sim) Result { return RunFC(s, pqProfile, r, true) }},
+	} {
+		if other := opsPerUs(m.f); nr <= other {
+			t.Errorf("NR (%.2f) not above %s (%.2f) at 112 threads, 10%% updates", nr, m.name, other)
+		}
+	}
+}
+
+func TestFig5bShape_NRScalesAcrossNodes(t *testing.T) {
+	// NR's throughput must grow, not collapse, when crossing from 1 node
+	// (28 threads) to 4 nodes (112).
+	one := opsPerUs(func(s *Sim) Result {
+		return RunNR(s, pqProfile, runAt(28, 100, pqProfile), NROpts{})
+	})
+	four := opsPerUs(func(s *Sim) Result {
+		return RunNR(s, pqProfile, runAt(112, 100, pqProfile), NROpts{})
+	})
+	if four < one {
+		t.Errorf("NR dropped across node boundary: %.2f at 28 thr, %.2f at 112", one, four)
+	}
+}
+
+func TestFig5bShape_LockBasedCollapseAcrossNodes(t *testing.T) {
+	// SL and RWL lose significant performance beyond one node (§8.1.1).
+	for _, m := range []struct {
+		name string
+		f    func(*Sim, Run) Result
+	}{
+		{"SL", func(s *Sim, r Run) Result { return RunSL(s, pqProfile, r) }},
+		{"RWL", func(s *Sim, r Run) Result { return RunRWL(s, pqProfile, r) }},
+	} {
+		one := m.f(intel(), runAt(28, 100, pqProfile)).OpsPerUs()
+		four := m.f(intel(), runAt(112, 100, pqProfile)).OpsPerUs()
+		if four > one*0.8 {
+			t.Errorf("%s did not collapse across nodes: %.2f at 28 thr vs %.2f at 112", m.name, one, four)
+		}
+	}
+}
+
+func TestFig5cShape_NRBeatsLFUnderFullContention(t *testing.T) {
+	// 100% updates on the PQ: LF loses its advantage (Fig. 5c: NR 2.4x).
+	r := runAt(112, 1000, pqProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, NROpts{}) })
+	lf := opsPerUs(func(s *Sim) Result { return RunLF(s, pqProfile, r) })
+	if nr <= lf {
+		t.Errorf("NR (%.2f) not above LF (%.2f) at 100%% updates", nr, lf)
+	}
+}
+
+func TestFig5aShape_ReadOnlyScalesForLFRWLNR(t *testing.T) {
+	// 0% updates: LF, RWL/FC+, NR all scale well; LF leads (Fig. 5a ~2.9x).
+	r := runAt(112, 0, pqProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, NROpts{}) })
+	lf := opsPerUs(func(s *Sim) Result { return RunLF(s, pqProfile, r) })
+	sl := opsPerUs(func(s *Sim) Result { return RunSL(s, pqProfile, r) })
+	if lf <= nr {
+		t.Errorf("read-only: LF (%.2f) should lead NR (%.2f)", lf, nr)
+	}
+	if lf > nr*8 {
+		t.Errorf("read-only: LF lead (%.1fx) far beyond the paper's ~2.9x", lf/nr)
+	}
+	if nr < sl*10 {
+		t.Errorf("read-only: NR (%.2f) should dwarf serializing SL (%.2f)", nr, sl)
+	}
+}
+
+func TestFig7Shape_UniformLFDominatesButZipfCrosses(t *testing.T) {
+	// Uniform keys, 100% updates: LF far ahead of NR (Fig. 7b: ~14x).
+	rU := runAt(112, 1000, dictUniformProfile)
+	nrU := opsPerUs(func(s *Sim) Result { return RunNR(s, dictUniformProfile, rU, NROpts{}) })
+	lfU := opsPerUs(func(s *Sim) Result { return RunLF(s, dictUniformProfile, rU) })
+	if lfU < nrU*3 {
+		t.Errorf("uniform 100%%: LF (%.2f) should dominate NR (%.2f)", lfU, nrU)
+	}
+	// Zipf keys, 100% updates: the advantage flips (Fig. 7d).
+	rZ := runAt(112, 1000, dictZipfProfile)
+	nrZ := opsPerUs(func(s *Sim) Result { return RunNR(s, dictZipfProfile, rZ, NROpts{}) })
+	lfZ := opsPerUs(func(s *Sim) Result { return RunLF(s, dictZipfProfile, rZ) })
+	if nrZ <= lfZ {
+		t.Errorf("zipf 100%%: NR (%.2f) should beat LF (%.2f)", nrZ, lfZ)
+	}
+}
+
+func TestFig7Shape_ZipfFailedCASStorm(t *testing.T) {
+	// §8.1.3: uniform ≈ 300K failed CAS, zipf > 7M — assert the blow-up.
+	r := Run{Threads: 112, OpsPerThread: 500, UpdatePermille: 1000}
+	uniform := RunLF(intel(), dictUniformProfile, r)
+	zipf := RunLF(intel(), dictZipfProfile, r)
+	if zipf.FailCAS < uniform.FailCAS*5 {
+		t.Errorf("zipf failed CAS (%d) not dramatically above uniform (%d)",
+			zipf.FailCAS, uniform.FailCAS)
+	}
+}
+
+func TestFig8Shape_NAandNRScaleOnStack(t *testing.T) {
+	r := runAt(112, 1000, stackProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, stackProfile, r, NROpts{}) })
+	na := opsPerUs(func(s *Sim) Result { return RunNA(s, stackProfile, r, 950) })
+	lf := opsPerUs(func(s *Sim) Result { return RunLF(s, stackProfile, r) })
+	sl := opsPerUs(func(s *Sim) Result { return RunSL(s, stackProfile, r) })
+	if nr <= lf {
+		t.Errorf("stack: NR (%.2f) should beat Treiber-style LF (%.2f) (Fig. 8: 6.2x)", nr, lf)
+	}
+	if nr <= sl {
+		t.Errorf("stack: NR (%.2f) should beat SL (%.2f) (Fig. 8: 21x)", nr, sl)
+	}
+	if na <= nr {
+		t.Errorf("stack: elimination NA (%.2f) should beat NR (%.2f) (Fig. 8: up to 3.6x)", na, nr)
+	}
+}
+
+func TestFig14Shape_AblationsHurt(t *testing.T) {
+	// Each disabled technique must cost throughput on the 10%-update PQ
+	// workload at max threads (Fig. 14 row 1).
+	r := runAt(112, 100, pqProfile)
+	full := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, NROpts{}) })
+	cases := []struct {
+		name string
+		opts NROpts
+	}{
+		{"DisableCombining", NROpts{DisableCombining: true}},
+		{"ReadWaitLogTail", NROpts{ReadWaitLogTail: true}},
+		{"SerialReplicaUpdate", NROpts{SerialReplicaUpdate: true}},
+		{"CombinedReplicaLock", NROpts{CombinedReplicaLock: true}},
+		{"CentralizedReaderLock", NROpts{CentralizedReaderLock: true}},
+	}
+	for _, c := range cases {
+		got := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, c.opts) })
+		if got >= full {
+			t.Errorf("%s: ablated NR (%.2f) not below full NR (%.2f)", c.name, got, full)
+		}
+	}
+}
+
+func TestAMDTopologyRuns(t *testing.T) {
+	s := New(topology.AMD8x6(), AMDCosts())
+	r := Run{Threads: 48, OpsPerThread: 500, UpdatePermille: 500}
+	res := RunNR(s, pqProfile, r, NROpts{})
+	if res.OpsPerUs() <= 0 {
+		t.Error("AMD topology run produced no throughput")
+	}
+}
+
+func TestExternalWorkReducesThroughput(t *testing.T) {
+	r0 := Run{Threads: 28, OpsPerThread: 800, UpdatePermille: 1000}
+	rE := r0
+	rE.ExternalWorkNs = 1024
+	fast := RunNR(intel(), pqProfile, r0, NROpts{}).OpsPerUs()
+	slow := RunNR(intel(), pqProfile, rE, NROpts{}).OpsPerUs()
+	if slow >= fast {
+		t.Errorf("external work did not reduce throughput: %.2f vs %.2f", slow, fast)
+	}
+}
+
+func TestResultOpsPerUsZeroSafe(t *testing.T) {
+	if (Result{}).OpsPerUs() != 0 {
+		t.Error("zero-duration result not handled")
+	}
+}
+
+func TestNodeThreads(t *testing.T) {
+	cases := []struct{ total, node, tpn, want int }{
+		{112, 0, 28, 28}, {112, 3, 28, 28},
+		{30, 0, 28, 28}, {30, 1, 28, 2}, {30, 2, 28, 0},
+		{1, 0, 28, 1},
+	}
+	for _, c := range cases {
+		if got := nodeThreads(c.total, c.node, c.tpn); got != c.want {
+			t.Errorf("nodeThreads(%d,%d,%d) = %d, want %d", c.total, c.node, c.tpn, got, c.want)
+		}
+	}
+}
+
+func TestFig5bShape_NRBeatsLFAt10Percent(t *testing.T) {
+	// Fig. 5b at max threads: NR 1.7x over LF.
+	r := runAt(112, 100, pqProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, pqProfile, r, NROpts{}) })
+	lf := opsPerUs(func(s *Sim) Result { return RunLF(s, pqProfile, r) })
+	if nr <= lf {
+		t.Errorf("PQ 10%%: NR (%.2f) not above LF (%.2f); paper has 1.7x", nr, lf)
+	}
+	if ratio := nr / lf; ratio > 4 {
+		t.Errorf("PQ 10%%: NR/LF = %.1fx, far beyond the paper's 1.7x", ratio)
+	}
+}
+
+func TestFig7cShape_NRBeatsLFZipf10Percent(t *testing.T) {
+	// Fig. 7c at max threads: NR 3.1x over LF under zipf keys, 10% updates.
+	r := runAt(112, 100, dictZipfProfile)
+	nr := opsPerUs(func(s *Sim) Result { return RunNR(s, dictZipfProfile, r, NROpts{}) })
+	lf := opsPerUs(func(s *Sim) Result { return RunLF(s, dictZipfProfile, r) })
+	if nr <= lf {
+		t.Errorf("dict zipf 10%%: NR (%.2f) not above LF (%.2f); paper has 3.1x", nr, lf)
+	}
+}
+
+func TestNRZipfBeatsNRUniform(t *testing.T) {
+	// §8.1.3: "data structure contention improves cache locality with NR" —
+	// NR's zipf throughput exceeds its uniform throughput at 10% updates.
+	rz := runAt(112, 100, dictZipfProfile)
+	ru := runAt(112, 100, dictUniformProfile)
+	z := opsPerUs(func(s *Sim) Result { return RunNR(s, dictZipfProfile, rz, NROpts{}) })
+	u := opsPerUs(func(s *Sim) Result { return RunNR(s, dictUniformProfile, ru, NROpts{}) })
+	if z <= u {
+		t.Errorf("NR zipf (%.2f) not above NR uniform (%.2f)", z, u)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+// Synchronization primitives built from simulated cache lines. Each maps
+// one-to-one onto the real primitives in internal/rwlock, so the models in
+// this package pay the same coherence traffic the real algorithms do.
+
+// SpinLock is a test-and-set lock on a single line.
+type SpinLock struct {
+	a Addr
+}
+
+// NewSpinLock allocates a spin lock.
+func NewSpinLock(s *Sim) SpinLock { return SpinLock{a: s.Alloc(1)} }
+
+// Lock acquires the lock, parking between attempts.
+func (l SpinLock) Lock(s *Sim, t *Thread) {
+	for {
+		if s.CAS(t, l.a, 0, 1) {
+			return
+		}
+		s.WaitUntil(t, l.a, func(v uint64) bool { return v == 0 })
+	}
+}
+
+// TryLock attempts a single acquisition.
+func (l SpinLock) TryLock(s *Sim, t *Thread) bool { return s.CAS(t, l.a, 0, 1) }
+
+// Unlock releases the lock.
+func (l SpinLock) Unlock(s *Sim, t *Thread) { s.Write(t, l.a, 0) }
+
+// Held reports whether the lock is currently held (one read).
+func (l SpinLock) Held(s *Sim, t *Thread) bool { return s.Read(t, l.a) != 0 }
+
+// Line exposes the lock's cache line for composite waits.
+func (l SpinLock) Line() Addr { return l.a }
+
+// DistRWLock is the paper's distributed readers-writer lock (§5.5): one
+// line per reader slot plus a writer flag line.
+type DistRWLock struct {
+	writer  Addr
+	readers []Addr
+}
+
+// NewDistRWLock allocates a lock with the given number of reader slots.
+func NewDistRWLock(s *Sim, slots int) DistRWLock {
+	l := DistRWLock{writer: s.Alloc(1)}
+	for i := 0; i < slots; i++ {
+		l.readers = append(l.readers, s.Alloc(1))
+	}
+	return l
+}
+
+// RLock acquires read mode for slot.
+func (l DistRWLock) RLock(s *Sim, t *Thread, slot int) {
+	for {
+		if s.Read(t, l.writer) != 0 {
+			s.WaitUntil(t, l.writer, func(v uint64) bool { return v == 0 })
+		}
+		s.Write(t, l.readers[slot], 1)
+		if s.Read(t, l.writer) == 0 {
+			return
+		}
+		s.Write(t, l.readers[slot], 0)
+	}
+}
+
+// RUnlock releases read mode for slot.
+func (l DistRWLock) RUnlock(s *Sim, t *Thread, slot int) {
+	s.Write(t, l.readers[slot], 0)
+}
+
+// Lock acquires write mode: set the writer flag, then wait for every
+// reader slot to drain (the expensive scan the paper optimizes readers
+// against).
+func (l DistRWLock) Lock(s *Sim, t *Thread) {
+	for {
+		if s.CAS(t, l.writer, 0, 1) {
+			break
+		}
+		s.WaitUntil(t, l.writer, func(v uint64) bool { return v == 0 })
+	}
+	for _, r := range l.readers {
+		if s.Read(t, r) != 0 {
+			s.WaitUntil(t, r, func(v uint64) bool { return v == 0 })
+		}
+	}
+}
+
+// Unlock releases write mode.
+func (l DistRWLock) Unlock(s *Sim, t *Thread) { s.Write(t, l.writer, 0) }
+
+// CentralRWLock is a conventional single-line readers-writer lock: readers
+// CAS a shared count (every reader acquisition moves the line), used for
+// ablation #5 and as a pessimal comparison point.
+type CentralRWLock struct {
+	a Addr
+}
+
+const centralWriterBit = 1 << 63
+
+// NewCentralRWLock allocates a centralized readers-writer lock.
+func NewCentralRWLock(s *Sim) CentralRWLock { return CentralRWLock{a: s.Alloc(1)} }
+
+// RLock acquires read mode.
+func (l CentralRWLock) RLock(s *Sim, t *Thread, _ int) {
+	for {
+		v := s.Read(t, l.a)
+		if v&centralWriterBit != 0 {
+			s.WaitUntil(t, l.a, func(v uint64) bool { return v&centralWriterBit == 0 })
+			continue
+		}
+		if s.CAS(t, l.a, v, v+1) {
+			return
+		}
+	}
+}
+
+// RUnlock releases read mode.
+func (l CentralRWLock) RUnlock(s *Sim, t *Thread, _ int) {
+	for {
+		v := s.Read(t, l.a)
+		if s.CAS(t, l.a, v, v-1) {
+			return
+		}
+	}
+}
+
+// Lock acquires write mode.
+func (l CentralRWLock) Lock(s *Sim, t *Thread) {
+	for {
+		if s.CAS(t, l.a, 0, centralWriterBit) {
+			return
+		}
+		s.WaitUntil(t, l.a, func(v uint64) bool { return v == 0 })
+	}
+}
+
+// Unlock releases write mode.
+func (l CentralRWLock) Unlock(s *Sim, t *Thread) { s.Write(t, l.a, 0) }
+
+// RWLock is the interface both readers-writer locks satisfy.
+type RWLock interface {
+	RLock(s *Sim, t *Thread, slot int)
+	RUnlock(s *Sim, t *Thread, slot int)
+	Lock(s *Sim, t *Thread)
+	Unlock(s *Sim, t *Thread)
+}

@@ -1,0 +1,160 @@
+// Package nr is Node Replication: a black-box transformation that turns any
+// sequential data structure into a linearizable, NUMA-aware concurrent one,
+// after "Black-box Concurrent Data Structures for NUMA Architectures"
+// (Calciu, Sen, Balakrishnan, Aguilera — ASPLOS 2017).
+//
+// Provide a sequential implementation satisfying Sequential — Execute must
+// be deterministic, non-blocking, and side-effect-free outside the
+// structure; IsReadOnly must be a pure function of the operation — and nr
+// replicates it across the NUMA nodes of a (software) topology, routing
+// updates through a NUMA-aware shared log with per-node flat combining and
+// serving reads from the local replica:
+//
+//	inst, err := nr.New(func() nr.Sequential[Op, Resp] { return newThing() }, nr.Config{})
+//	h, err := inst.Register()      // bind this goroutine to a node
+//	resp := h.Execute(op)          // linearizable, concurrent
+//
+// The zero Config simulates the paper's testbed: 4 NUMA nodes × 14 cores ×
+// 2 hyperthreads. Go cannot pin OS threads to NUMA nodes, so the topology
+// is a software construct: it decides which replica, combining slot, and
+// reader lock each registered goroutine uses, exactly as hardware placement
+// does in the paper's C++ implementation.
+package nr
+
+import (
+	"errors"
+
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// Sequential is the black-box contract (§4 of the paper): Create is the
+// constructor you pass to New, Execute applies an operation, IsReadOnly
+// classifies it.
+type Sequential[O, R any] interface {
+	Execute(op O) R
+	IsReadOnly(op O) bool
+}
+
+// Config tunes an instance. The zero value is the paper's Intel testbed
+// with a 64K-entry log.
+type Config struct {
+	// Nodes, CoresPerNode, SMT describe the software NUMA topology.
+	// All three default as a group to 4×14×2 when Nodes is zero.
+	Nodes        int
+	CoresPerNode int
+	SMT          int
+	// LogEntries sizes the shared circular log (default 64K).
+	LogEntries int
+	// MinBatch makes combiners wait for at least this many operations
+	// before appending, refreshing the replica meanwhile (default 1 = off).
+	MinBatch int
+	// DedicatedCombiners starts one background goroutine per node that
+	// keeps that node's replica fresh even when its threads are idle (the
+	// paper's §4 optional optimization and its §6 inactive-replica fix).
+	// Call Close when done with the instance.
+	DedicatedCombiners bool
+}
+
+// Stats mirrors core.Stats: counters describing internal behaviour.
+type Stats = core.Stats
+
+// Instance is a replicated, linearizable version of a sequential structure.
+type Instance[O, R any] struct {
+	inner *core.Instance[O, R]
+}
+
+// Handle executes operations on behalf of one registered goroutine. It is
+// not safe for concurrent use; register one handle per goroutine.
+type Handle[O, R any] struct {
+	inner *core.Handle[O, R]
+}
+
+// New builds an instance. create is invoked once per NUMA node and must
+// produce identical replicas (same seeds, same initial contents).
+func New[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R], error) {
+	if create == nil {
+		return nil, errors.New("nr: create function is nil")
+	}
+	opts := core.Options{
+		LogEntries:         cfg.LogEntries,
+		MinBatch:           cfg.MinBatch,
+		DedicatedCombiners: cfg.DedicatedCombiners,
+	}
+	if cfg.Nodes != 0 {
+		smt := cfg.SMT
+		if smt == 0 {
+			smt = 1
+		}
+		cores := cfg.CoresPerNode
+		if cores == 0 {
+			cores = 1
+		}
+		opts.Topology = topology.New(cfg.Nodes, cores, smt)
+	}
+	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance[O, R]{inner: inner}, nil
+}
+
+// Register binds the calling goroutine to the next hardware-thread position
+// (filling one node before spilling to the next, the paper's placement).
+// It fails once every simulated hardware thread is taken.
+func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
+	h, err := i.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[O, R]{inner: h}, nil
+}
+
+// RegisterOnNode binds the calling goroutine to an explicit NUMA node.
+func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
+	h, err := i.inner.RegisterOnNode(node)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[O, R]{inner: h}, nil
+}
+
+// Replicas returns the number of per-node replicas.
+func (i *Instance[O, R]) Replicas() int { return i.inner.Replicas() }
+
+// Stats returns internal counters (combining rounds, reads, helps, ...).
+func (i *Instance[O, R]) Stats() Stats { return i.inner.Stats() }
+
+// MemoryBytes reports the shared log's footprint plus, for replicas whose
+// sequential structure implements interface{ MemoryBytes() uint64 }, the
+// replicas' footprints — the space cost the paper tabulates.
+func (i *Instance[O, R]) MemoryBytes() uint64 { return i.inner.MemoryBytes() }
+
+// Quiesce brings every replica up to date with all completed operations —
+// useful before inspecting replicas, never required for correctness.
+func (i *Instance[O, R]) Quiesce() { i.inner.Quiesce() }
+
+// Close stops the dedicated combiners, if configured. The instance remains
+// usable afterwards; Close is idempotent and a no-op otherwise.
+func (i *Instance[O, R]) Close() { i.inner.Close() }
+
+// FakeUpdater is the optional fast path of §6: structures whose update
+// operations frequently turn out to be no-ops (removing an absent key) can
+// implement TryReadOnly; NR first attempts such updates on the cheap local
+// read path and only falls back to the shared log when a real update is
+// needed. TryReadOnly must not modify the structure.
+type FakeUpdater[O, R any] interface {
+	TryReadOnly(op O) (resp R, done bool)
+}
+
+// Inspect quiesces node's replica and runs fn on its sequential structure
+// with the write lock held. fn must not retain the structure.
+func (i *Instance[O, R]) Inspect(node int, fn func(s Sequential[O, R])) {
+	i.inner.InspectReplica(node, func(ds core.Sequential[O, R]) { fn(ds) })
+}
+
+// Execute runs op with linearizable semantics.
+func (h *Handle[O, R]) Execute(op O) R { return h.inner.Execute(op) }
+
+// Node returns the node this handle is bound to.
+func (h *Handle[O, R]) Node() int { return h.inner.Node() }

@@ -1,0 +1,143 @@
+package nr_test
+
+import (
+	"sync"
+	"testing"
+
+	nr "github.com/asplos17/nr"
+)
+
+// seqMap is a toy sequential map used to exercise the public API the way a
+// downstream user would.
+type seqMap struct {
+	m map[string]int
+}
+
+type mapOp struct {
+	get bool
+	key string
+	val int
+}
+
+type mapResp struct {
+	val int
+	ok  bool
+}
+
+func newSeqMap() nr.Sequential[mapOp, mapResp] { return &seqMap{m: make(map[string]int)} }
+
+func (s *seqMap) Execute(op mapOp) mapResp {
+	if op.get {
+		v, ok := s.m[op.key]
+		return mapResp{val: v, ok: ok}
+	}
+	s.m[op.key] = op.val
+	return mapResp{val: op.val, ok: true}
+}
+
+func (s *seqMap) IsReadOnly(op mapOp) bool { return op.get }
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	inst, err := nr.New(newSeqMap, nr.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Replicas() != 4 {
+		t.Errorf("default Replicas = %d, want 4", inst.Replicas())
+	}
+	h, err := inst.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Execute(mapOp{key: "answer", val: 42})
+	if got := h.Execute(mapOp{get: true, key: "answer"}); !got.ok || got.val != 42 {
+		t.Errorf("read back = %+v", got)
+	}
+	if got := h.Execute(mapOp{get: true, key: "missing"}); got.ok {
+		t.Errorf("missing key = %+v", got)
+	}
+}
+
+func TestPublicAPICustomTopology(t *testing.T) {
+	inst, err := nr.New(newSeqMap, nr.Config{Nodes: 2, CoresPerNode: 3, LogEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Replicas() != 2 {
+		t.Errorf("Replicas = %d, want 2", inst.Replicas())
+	}
+	nodes := map[int]int{}
+	for i := 0; i < 6; i++ {
+		h, err := inst.Register()
+		if err != nil {
+			t.Fatalf("Register #%d: %v", i, err)
+		}
+		nodes[h.Node()]++
+	}
+	if nodes[0] != 3 || nodes[1] != 3 {
+		t.Errorf("placement = %v", nodes)
+	}
+	if _, err := inst.Register(); err == nil {
+		t.Error("over-registration accepted")
+	}
+	if _, err := inst.RegisterOnNode(5); err == nil {
+		t.Error("bad node accepted")
+	}
+}
+
+func TestPublicAPIConcurrentAndInspect(t *testing.T) {
+	inst, err := nr.New(newSeqMap, nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		h, err := inst.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, h *nr.Handle[mapOp, mapResp]) {
+			defer wg.Done()
+			key := string(rune('a' + g))
+			for i := 0; i < 1000; i++ {
+				h.Execute(mapOp{key: key, val: i})
+				if r := h.Execute(mapOp{get: true, key: key}); !r.ok || r.val < i {
+					t.Errorf("stale read for %s: %+v at i=%d", key, r, i)
+					return
+				}
+			}
+		}(g, h)
+	}
+	wg.Wait()
+	inst.Quiesce()
+	for n := 0; n < inst.Replicas(); n++ {
+		inst.Inspect(n, func(s nr.Sequential[mapOp, mapResp]) {
+			m := s.(*seqMap)
+			if len(m.m) != 4 {
+				t.Errorf("replica %d has %d keys, want 4", n, len(m.m))
+			}
+			for g := 0; g < 4; g++ {
+				if v := m.m[string(rune('a'+g))]; v != 999 {
+					t.Errorf("replica %d key %c = %d, want 999", n, 'a'+g, v)
+				}
+			}
+		})
+	}
+	st := inst.Stats()
+	if st.UpdateOps != 4000 || st.ReadOps != 4000 {
+		t.Errorf("stats = %+v", st)
+	}
+	if inst.MemoryBytes() == 0 {
+		t.Error("MemoryBytes = 0")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := nr.New[int, int](nil, nr.Config{}); err == nil {
+		t.Error("nil create accepted")
+	}
+	if _, err := nr.New(newSeqMap, nr.Config{LogEntries: 1}); err == nil {
+		t.Error("log of 1 entry accepted")
+	}
+}
