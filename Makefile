@@ -1,0 +1,30 @@
+# Test tiers. tier1 is the gate every change must pass; tier2 adds vet and
+# the race detector; chaos replays the seeded fault-injection schedules
+# (internal/chaos, seeds 1 / 42 / 0xc0ffee / 0xdeadbeef) under -race.
+
+GO ?= go
+
+.PHONY: tier1 tier2 chaos test build vet race
+
+tier1: ## build + unit tests (the acceptance gate)
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: ## vet + full race-detector run
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+chaos: ## fault-injection suite under the race detector, fixed seeds
+	$(GO) test -race -count=1 -v ./internal/chaos/
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...

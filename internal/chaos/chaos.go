@@ -1,0 +1,178 @@
+// Package chaos is a deterministic fault-injection harness for the NR core.
+//
+// The paper's §6 identifies NR's weakest point: a thread that stops making
+// progress mid-protocol. A stalled or dead combiner blocks its node's
+// combining slots and, once the shared log fills, every appender on every
+// node. This package turns that discussion into a repeatable test bed: a
+// seeded schedule injects faults at the protocol's pressure points and an
+// invariant checker asserts that the containment machinery (internal/core's
+// failure.go) actually holds.
+//
+// Injected fault types:
+//
+//   - Panic: an operation whose Execute panics deterministically — the same
+//     op panics at the same point on every replica, the contract §4 demands.
+//     The submitting thread must get a *core.PanicError; everyone else's
+//     ops must still complete; replicas must stay convergent (including the
+//     deterministic partial mutation the op makes before panicking).
+//   - Stall: an operation whose Execute sleeps, holding the combiner lock
+//     and replica write lock — a preempted/slow combiner as seen by every
+//     other thread. The watchdog must flag it; nothing may deadlock.
+//   - Log pressure: a deliberately tiny log, so appenders constantly hit the
+//     full-log path and exercise inactive-replica helping under faults.
+//   - Death: a thread posts an op to its combining slot and abandons it
+//     (Handle.PostAndAbandon) — a goroutine dying between publish and
+//     combine. The node's next combiner executes the orphan; no response is
+//     collected; the slot is retired; everyone else proceeds.
+//
+// Determinism: every fault decision is a pure function of (seed, thread,
+// sequence number), so a failing schedule replays exactly from its seed.
+// Goroutine interleaving still varies run to run — the invariants below hold
+// for every interleaving, which is the point.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates chaos operations on the accumulator structure.
+type Kind uint8
+
+// Chaos op kinds. Add and Sum are the well-behaved update/read pair; Panic
+// and Stall are faulty updates.
+const (
+	KindAdd Kind = iota
+	KindSum
+	KindPanic
+	KindStall
+)
+
+// Op is one operation against the chaos accumulator. Fault behaviour is
+// encoded in the op itself so every replica replays it identically.
+type Op struct {
+	Kind  Kind
+	Key   uint16
+	Delta int64
+	// Stall is how long a KindStall op sleeps inside Execute.
+	Stall time.Duration
+}
+
+// Result is the accumulator's response: the key's value after an update, or
+// the total after a Sum.
+type Result struct {
+	Value int64
+}
+
+// PanicMsg is the panic value used by KindPanic ops, recognizable in
+// *core.PanicError.Value.
+const PanicMsg = "chaos: injected panic"
+
+// DS is the sequential structure under test: a keyed accumulator with a
+// deterministic fingerprint. KindPanic ops mutate the structure *before*
+// panicking — deterministically, so convergence must survive the partial
+// mutation — which is the nastiest contained-panic case.
+type DS struct {
+	vals map[uint16]int64
+	// panicHook, when non-nil, decides whether a KindPanic op actually
+	// panics on this replica; the divergence tests use it to violate the
+	// determinism contract on purpose.
+	panicHook func() bool
+}
+
+// NewDS returns an empty accumulator.
+func NewDS() *DS { return &DS{vals: make(map[uint16]int64)} }
+
+// NewDivergentDS returns an accumulator on which KindPanic ops panic only
+// when hook() is true — deliberately non-deterministic across replicas, to
+// exercise poisoning.
+func NewDivergentDS(hook func() bool) *DS {
+	return &DS{vals: make(map[uint16]int64), panicHook: hook}
+}
+
+// Execute applies op.
+func (d *DS) Execute(op Op) Result {
+	switch op.Kind {
+	case KindSum:
+		var total int64
+		for _, v := range d.vals {
+			total += v
+		}
+		return Result{Value: total}
+	case KindPanic:
+		// Partial mutation first, then the panic: replicas must converge on
+		// the mutated state.
+		d.vals[op.Key] += op.Delta
+		if d.panicHook == nil || d.panicHook() {
+			panic(PanicMsg)
+		}
+		return Result{Value: d.vals[op.Key]}
+	case KindStall:
+		time.Sleep(op.Stall)
+		d.vals[op.Key] += op.Delta
+		return Result{Value: d.vals[op.Key]}
+	default:
+		d.vals[op.Key] += op.Delta
+		return Result{Value: d.vals[op.Key]}
+	}
+}
+
+// IsReadOnly classifies Sum as the only read.
+func (d *DS) IsReadOnly(op Op) bool { return op.Kind == KindSum }
+
+// Fingerprint returns an order-independent digest of the accumulator's
+// contents; convergent replicas have equal fingerprints.
+func (d *DS) Fingerprint() uint64 {
+	var fp uint64
+	for k, v := range d.vals {
+		// Commutative combine (sum of per-pair mixes) so map iteration order
+		// does not matter.
+		fp += mix(uint64(k)<<32 ^ uint64(uint32(v)) ^ uint64(v)>>32)
+	}
+	return fp
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed 64-bit mixer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Rand is a tiny splitmix64 PRNG; each worker derives its own from the
+// schedule seed so op streams are reproducible and independent.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator for the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// String renders an op for failure messages.
+func (o Op) String() string {
+	switch o.Kind {
+	case KindSum:
+		return "sum"
+	case KindPanic:
+		return fmt.Sprintf("panic(key=%d,delta=%d)", o.Key, o.Delta)
+	case KindStall:
+		return fmt.Sprintf("stall(%v,key=%d)", o.Stall, o.Key)
+	default:
+		return fmt.Sprintf("add(key=%d,delta=%d)", o.Key, o.Delta)
+	}
+}

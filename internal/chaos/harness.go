@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// Schedule describes one chaos run: the machine shape, the op volume, and
+// the fault rates. Every fault decision derives from Seed, so a schedule
+// replays exactly.
+type Schedule struct {
+	// Seed drives every per-thread op stream. Required (0 is a valid seed).
+	Seed uint64
+	// Nodes/CoresPerNode shape the software topology (defaults 2×2, SMT 1).
+	Nodes        int
+	CoresPerNode int
+	// Threads is how many worker goroutines register (default: all).
+	Threads int
+	// OpsPerThread is the length of each worker's op stream (default 200).
+	OpsPerThread int
+	// LogEntries sizes the shared log; small values create log-full
+	// pressure (default 64).
+	LogEntries int
+	// PanicEveryN injects a deterministic panic op every N ops (0 = off).
+	PanicEveryN int
+	// StallEveryN injects a stalling op every N ops (0 = off).
+	StallEveryN int
+	// StallFor is the stall duration (default 2ms).
+	StallFor time.Duration
+	// AbandonEveryN makes a worker post-and-abandon every N ops, retiring
+	// that worker's handle and re-registering a fresh one on the same node
+	// (0 = off). Ignored under DisableCombining.
+	AbandonEveryN int
+	// ReadFraction is the percentage [0,100] of well-behaved ops that are
+	// reads (default 30).
+	ReadFraction int
+	// DedicatedCombiners / DisableCombining / MinBatch mirror core.Options.
+	DedicatedCombiners bool
+	DisableCombining   bool
+	MinBatch           int
+	// StallThreshold enables the core watchdog (default 1ms when
+	// StallEveryN > 0, else off).
+	StallThreshold time.Duration
+	// Timeout bounds the whole run; exceeding it is the deadlock invariant
+	// firing (default 30s).
+	Timeout time.Duration
+}
+
+func (s *Schedule) fillDefaults() {
+	if s.Nodes == 0 {
+		s.Nodes = 2
+	}
+	if s.CoresPerNode == 0 {
+		s.CoresPerNode = 2
+	}
+	if s.OpsPerThread == 0 {
+		s.OpsPerThread = 200
+	}
+	if s.LogEntries == 0 {
+		s.LogEntries = 64
+	}
+	if s.StallFor == 0 {
+		s.StallFor = 2 * time.Millisecond
+	}
+	if s.ReadFraction == 0 {
+		s.ReadFraction = 30
+	}
+	if s.StallThreshold == 0 && s.StallEveryN > 0 {
+		s.StallThreshold = time.Millisecond
+	}
+	if s.Timeout == 0 {
+		s.Timeout = 30 * time.Second
+	}
+	if s.Threads == 0 {
+		s.Threads = s.Nodes * s.CoresPerNode
+	}
+}
+
+// Outcome records one operation's fate for the invariant checker.
+type Outcome struct {
+	Thread int
+	Seq    int
+	Op     Op
+	Resp   Result
+	Err    error
+	// Abandoned marks ops posted via PostAndAbandon: no response expected.
+	Abandoned bool
+}
+
+// Report is the result of a chaos run.
+type Report struct {
+	Schedule     Schedule
+	Outcomes     []Outcome
+	Fingerprints []uint64 // one per replica, after Quiesce
+	Stats        core.Stats
+	Health       core.Health
+	Elapsed      time.Duration
+}
+
+// ErrDeadlock is returned by Run when workers fail to finish within the
+// schedule's timeout — the "no deadlock" invariant.
+var ErrDeadlock = errors.New("chaos: workers did not finish within timeout (deadlock?)")
+
+// Run executes the schedule against a fresh NR instance and returns the
+// report; call (*Report).Check for the invariants. The returned error is
+// non-nil only when the run itself could not complete (setup failure or
+// deadlock) — injected faults are data, not errors.
+func Run(s Schedule) (*Report, error) {
+	s.fillDefaults()
+	inst, err := core.New[Op, Result](
+		func() core.Sequential[Op, Result] { return NewDS() },
+		core.Options{
+			Topology:           topology.New(s.Nodes, s.CoresPerNode, 1),
+			LogEntries:         s.LogEntries,
+			MinBatch:           s.MinBatch,
+			DedicatedCombiners: s.DedicatedCombiners,
+			DisableCombining:   s.DisableCombining,
+			StallThreshold:     s.StallThreshold,
+		})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building instance: %w", err)
+	}
+	defer inst.Close()
+	return run(inst, s)
+}
+
+// run drives s's workers against inst (already configured). Extracted so
+// divergence tests can supply their own instance.
+func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
+	start := time.Now()
+	outcomes := make([][]Outcome, s.Threads)
+	var wg sync.WaitGroup
+	handles := make([]*core.Handle[Op, Result], s.Threads)
+	for t := 0; t < s.Threads; t++ {
+		h, err := inst.Register()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: registering worker %d: %w", t, err)
+		}
+		handles[t] = h
+	}
+	for t := 0; t < s.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := handles[t]
+			rng := NewRand(s.Seed ^ mix(uint64(t)+1))
+			outs := make([]Outcome, 0, s.OpsPerThread)
+			for seq := 0; seq < s.OpsPerThread; seq++ {
+				op := s.opFor(rng, t, seq)
+				if s.AbandonEveryN > 0 && !s.DisableCombining && seq%s.AbandonEveryN == s.AbandonEveryN-1 {
+					h.PostAndAbandon(op)
+					outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Abandoned: true})
+					// The abandoned handle is dead; take a fresh slot on the
+					// same node, as a restarted worker would.
+					nh, err := inst.RegisterOnNode(h.Node())
+					if err != nil {
+						// Node out of slots: stop this worker. Recorded ops
+						// up to here still count.
+						break
+					}
+					h = nh
+					continue
+				}
+				resp, err := h.TryExecute(op)
+				outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Resp: resp, Err: err})
+			}
+			outcomes[t] = outs
+		}(t)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.Timeout):
+		return nil, fmt.Errorf("%w after %v; stats %+v health %+v",
+			ErrDeadlock, s.Timeout, inst.Stats(), inst.Health())
+	}
+	inst.Quiesce()
+	rep := &Report{Schedule: s, Elapsed: time.Since(start)}
+	for _, outs := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, outs...)
+	}
+	for n := 0; n < inst.Replicas(); n++ {
+		inst.InspectReplica(n, func(ds core.Sequential[Op, Result]) {
+			rep.Fingerprints = append(rep.Fingerprints, ds.(*DS).Fingerprint())
+		})
+	}
+	rep.Stats = inst.Stats()
+	rep.Health = inst.Health()
+	return rep, nil
+}
+
+// opFor derives the (t, seq) op purely from the schedule — the injection
+// points. Panic beats stall when both rates hit the same seq.
+func (s *Schedule) opFor(rng *Rand, t, seq int) Op {
+	key := uint16(rng.Intn(64))
+	delta := int64(rng.Intn(1000)) + 1
+	if s.PanicEveryN > 0 && seq%s.PanicEveryN == s.PanicEveryN-1 {
+		return Op{Kind: KindPanic, Key: key, Delta: delta}
+	}
+	if s.StallEveryN > 0 && seq%s.StallEveryN == s.StallEveryN-1 {
+		return Op{Kind: KindStall, Key: key, Delta: delta, Stall: s.StallFor}
+	}
+	if rng.Intn(100) < s.ReadFraction {
+		return Op{Kind: KindSum}
+	}
+	return Op{Kind: KindAdd, Key: key, Delta: delta}
+}
+
+// Check asserts the chaos invariants and returns every violation:
+//
+//  1. Response delivery: every non-abandoned op has an outcome — faulty ops
+//     a *core.PanicError carrying the injected panic value, healthy ops a
+//     nil error. (Run already proved "no deadlock" by returning.)
+//  2. Convergence: after Quiesce, every replica fingerprint is identical.
+//  3. No poisoning: deterministic faults must never trip the divergence
+//     detector.
+//  4. Stall visibility: when stalls were injected and the watchdog enabled,
+//     Stats.Stalls must be nonzero.
+func (r *Report) Check() []error {
+	var errs []error
+	for _, o := range r.Outcomes {
+		switch {
+		case o.Abandoned:
+			continue
+		case o.Op.Kind == KindPanic:
+			var pe *core.PanicError
+			if !errors.As(o.Err, &pe) {
+				errs = append(errs, fmt.Errorf("thread %d seq %d %s: want PanicError, got %v", o.Thread, o.Seq, o.Op, o.Err))
+			} else if pe.Value != any(PanicMsg) {
+				errs = append(errs, fmt.Errorf("thread %d seq %d %s: wrong panic value %v", o.Thread, o.Seq, o.Op, pe.Value))
+			}
+		default:
+			if o.Err != nil {
+				errs = append(errs, fmt.Errorf("thread %d seq %d %s: unexpected error %v", o.Thread, o.Seq, o.Op, o.Err))
+			}
+		}
+	}
+	for n := 1; n < len(r.Fingerprints); n++ {
+		if r.Fingerprints[n] != r.Fingerprints[0] {
+			errs = append(errs, fmt.Errorf("replica %d fingerprint %x != replica 0 fingerprint %x (divergence)", n, r.Fingerprints[n], r.Fingerprints[0]))
+		}
+	}
+	if r.Health.Poisoned {
+		errs = append(errs, fmt.Errorf("instance poisoned under deterministic faults: %s", r.Health.PoisonReason))
+	}
+	if r.Schedule.StallEveryN > 0 && r.Schedule.StallThreshold > 0 && r.Stats.Stalls == 0 {
+		errs = append(errs, errors.New("stalls injected but watchdog counted none"))
+	}
+	return errs
+}

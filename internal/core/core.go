@@ -96,6 +96,13 @@ type Options struct {
 	// the inactive-replica problem (§6). Instances with dedicated
 	// combiners must be Closed.
 	DedicatedCombiners bool
+
+	// StallThreshold, when positive, starts a watchdog goroutine that flags
+	// any combiner lock held longer than this (a stalled or preempted
+	// combiner, the §6 hazard), counts it in Stats.Stalls, reports it via
+	// Health, and runs the helping path so other nodes keep consuming the
+	// log. Instances with a watchdog must be Closed.
+	StallThreshold time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -118,6 +125,8 @@ type Stats struct {
 	HelpedEntries   uint64 // log entries applied to other nodes' replicas
 	ReadOps         uint64 // read-only ops executed
 	UpdateOps       uint64 // update ops executed
+	Panics          uint64 // user Execute panics contained (see failure.go)
+	Stalls          uint64 // combiner stalls flagged by the watchdog
 }
 
 // slot state machine values.
@@ -129,13 +138,15 @@ const (
 )
 
 // slot is one thread's mailbox to its node's combiner (§5.2). The op is
-// published with a release store on state; the response returns the same
-// way on a separate word, mirroring the paper's cache-line discipline.
+// published with a release store on state; the response — a value or a
+// contained panic (failure.go) — returns the same way on a separate word,
+// mirroring the paper's cache-line discipline.
 type slot[O, R any] struct {
 	op    O
 	state atomic.Uint32
 	_     [60]byte
 	resp  R
+	err   error
 }
 
 // entry is what NR stores in the shared log: the operation plus response
@@ -151,7 +162,7 @@ type replica[O, R any] struct {
 	id           int32
 	ds           Sequential[O, R]
 	localTail    *atomic.Uint64
-	combinerLock rwlock.SpinMutex
+	combinerLock rwlock.StampedMutex
 	// refresher elects a single reader to bring the replica up to date when
 	// no combiner is active, so stale readers don't convoy on the writer
 	// lock (an engineering refinement over Algorithm 1, which lets every
@@ -177,6 +188,14 @@ type Instance[O, R any] struct {
 	helpedEntries   atomic.Uint64
 	readOps         atomic.Uint64
 	updateOps       atomic.Uint64
+	panics          atomic.Uint64
+	stalls          atomic.Uint64
+
+	// Failure containment state (failure.go).
+	tracker      panicTracker
+	poisoned     atomic.Bool
+	poisonMu     sync.Mutex
+	poisonReason string
 
 	stop   chan struct{}
 	stopWG sync.WaitGroup
@@ -218,12 +237,18 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 		}
 		inst.replicas = append(inst.replicas, r)
 	}
-	if opts.DedicatedCombiners {
+	if opts.DedicatedCombiners || opts.StallThreshold > 0 {
 		inst.stop = make(chan struct{})
+	}
+	if opts.DedicatedCombiners {
 		for _, r := range inst.replicas {
 			inst.stopWG.Add(1)
 			go inst.dedicatedCombiner(r)
 		}
+	}
+	if opts.StallThreshold > 0 {
+		inst.stopWG.Add(1)
+		go inst.watchdog()
 	}
 	return inst, nil
 }
@@ -255,9 +280,9 @@ func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
 	}
 }
 
-// Close stops the dedicated combiners, if any. The instance remains usable
-// for operations; Close only ends the background refreshing. It is
-// idempotent.
+// Close stops the dedicated combiners and the stall watchdog, if any. The
+// instance remains usable for operations; Close only ends the background
+// goroutines. It is idempotent.
 func (i *Instance[O, R]) Close() {
 	if i.stop == nil || !i.closed.CompareAndSwap(false, true) {
 		return
@@ -273,6 +298,10 @@ type Handle[O, R any] struct {
 	node   int
 	slot   int
 	thread int
+	// broken is set when this handle's combining slot can no longer be
+	// trusted (a response delivery invariant broke, see updateUncombined);
+	// sticky so a late delivery cannot be mistaken for a later op's response.
+	broken error
 }
 
 // Register binds the caller to the next thread position under the paper's
@@ -331,25 +360,73 @@ type FakeUpdater[O, R any] interface {
 }
 
 // Execute runs op with linearizable semantics (ExecuteConcurrent in §4).
+// If the operation's Sequential.Execute panicked — on whichever thread
+// actually ran it — the panic is re-raised here, on the submitting
+// goroutine, wrapped in a *PanicError. Use TryExecute to receive it as an
+// error instead.
 func (h *Handle[O, R]) Execute(op O) R {
-	r := h.inst.replicas[h.node]
+	resp, err := h.TryExecute(op)
+	if err != nil {
+		panic(err)
+	}
+	return resp
+}
+
+// TryExecute runs op with linearizable semantics, reporting a contained
+// failure as an error instead of a panic: a *PanicError when the
+// operation's Execute panicked, ErrPoisoned (wrapped) once replicas have
+// been observed to diverge, ErrResponseLost (wrapped) when a response
+// delivery invariant broke. A nil error means resp is the operation's
+// result.
+func (h *Handle[O, R]) TryExecute(op O) (R, error) {
+	i := h.inst
+	if h.broken != nil {
+		var zero R
+		return zero, h.broken
+	}
+	if err := i.poisonedErr(); err != nil {
+		var zero R
+		return zero, err
+	}
+	r := i.replicas[h.node]
 	if r.ds.IsReadOnly(op) {
-		return h.inst.readOnly(h, op)
+		return i.readOnly(h, op)
 	}
 	if fu, ok := r.ds.(FakeUpdater[O, R]); ok {
 		// First attempt the operation as a read (§6). Linearizable: the
 		// no-op outcome is justified by the replica state at the read
 		// point; a false return falls through to the full update, which
-		// re-executes the operation atomically.
-		if resp, done := h.inst.readOnlyVia(h, func() (R, bool) { return fu.TryReadOnly(op) }); done {
-			return resp
+		// re-executes the operation atomically. A panic inside TryReadOnly
+		// is final (done=true): retrying on the update path would replay
+		// the panic into every replica.
+		if resp, done, err := i.readOnlyVia(h, func() (R, bool) { return fu.TryReadOnly(op) }); done {
+			return resp, err
 		}
 	}
-	h.inst.updateOps.Add(1)
-	if h.inst.opts.DisableCombining {
-		return h.inst.updateUncombined(h, op)
+	i.updateOps.Add(1)
+	if i.opts.DisableCombining {
+		return i.updateUncombined(h, op)
 	}
-	return h.inst.combine(h, op)
+	return i.combine(h, op)
+}
+
+// PostAndAbandon publishes op to this handle's combining slot and returns
+// without waiting for the response, then marks the handle unusable. It
+// simulates a thread that dies between publishing and combining — the §6
+// stalled-thread hazard — for the chaos tests: the node's next combiner
+// executes the op and delivers a response nobody collects; the slot is
+// permanently retired. Meaningless (and a no-op) under DisableCombining.
+func (h *Handle[O, R]) PostAndAbandon(op O) {
+	if h.broken == nil {
+		h.broken = errors.New("core: handle abandoned by PostAndAbandon")
+	}
+	if h.inst.opts.DisableCombining {
+		return
+	}
+	r := h.inst.replicas[h.node]
+	s := &r.slots[h.slot]
+	s.op = op
+	s.state.Store(slotPosted)
 }
 
 // replicaWriteLock takes the lock that protects r against readers and other
@@ -378,13 +455,15 @@ func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
 	}
 }
 
-// applyEntry executes one log entry against r and, if the entry originated
-// on r's node with a response slot, delivers the response.
-func (i *Instance[O, R]) applyEntry(r *replica[O, R], e entry[O]) {
-	res := r.ds.Execute(e.op)
+// applyEntry executes the log entry at absolute index idx against r — with
+// panic containment, so a poisonous op advances localTail like any other —
+// and, if the entry originated on r's node with a response slot, delivers
+// the outcome (value or error).
+func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O]) {
+	res, err := i.safeExecute(r, e.op, idx)
 	if e.slot >= 0 && e.node == r.id {
 		s := &r.slots[e.slot]
-		s.resp = res
+		s.resp, s.err = res, err
 		s.state.Store(slotDone)
 	}
 }
@@ -398,23 +477,23 @@ func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64) {
 		if !ok {
 			return
 		}
-		i.applyEntry(r, e)
+		i.applyEntry(r, idx, e)
 		r.localTail.Store(idx + 1)
 	}
 }
 
 // combine is Algorithm 1's Combine: post the op, then either become the
-// combiner or wait for a response.
-func (i *Instance[O, R]) combine(h *Handle[O, R], op O) R {
+// combiner or wait for a response (a value or a contained panic).
+func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
 	s.op = op
 	s.state.Store(slotPosted)
 	for {
 		if st := s.state.Load(); st == slotDone {
-			resp := s.resp
+			resp, err := s.resp, s.err
 			s.state.Store(slotEmpty)
-			return resp
+			return resp, err
 		}
 		if r.combinerLock.TryLock() {
 			if s.state.Load() != slotDone {
@@ -422,9 +501,9 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) R {
 			}
 			r.combinerLock.Unlock()
 			// runCombiner served every posted slot, including ours.
-			resp := s.resp
+			resp, err := s.resp, s.err
 			s.state.Store(slotEmpty)
-			return resp
+			return resp, err
 		}
 		runtime.Gosched()
 	}
@@ -486,23 +565,25 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	// waiting out any holes (§5.1).
 	idx := r.localTail.Load()
 	for ; idx < start; idx++ {
-		i.applyEntry(r, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.log.WaitGet(idx))
 		r.localTail.Store(idx + 1)
 	}
 	if idx == start {
 		// Fast path (the paper's §5.2): apply our ops from the node-local
-		// combining slots rather than re-reading the log.
+		// combining slots rather than re-reading the log. safeExecute keeps
+		// a panicking op from killing the combiner: the outcome is recorded
+		// at the op's log index and delivered like any response.
 		r.localTail.Store(end)
 		i.log.AdvanceCompleted(end)
-		for _, t := range batch {
-			t.s.resp = r.ds.Execute(t.s.op)
+		for k, t := range batch {
+			t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
 			t.s.state.Store(slotDone)
 		}
 	} else {
 		// A helper replayed past our batch start while we were appending;
 		// finish through the log — tag delivery answers our batch slots.
 		for ; idx < end; idx++ {
-			i.applyEntry(r, i.log.WaitGet(idx))
+			i.applyEntry(r, idx, i.log.WaitGet(idx))
 			r.localTail.Store(idx + 1)
 		}
 		i.log.AdvanceCompleted(end)
@@ -512,11 +593,16 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	}
 }
 
+// uncombinedDeliveryWait bounds how long an uncombined updater waits for a
+// response that the protocol says is already delivered (see below). It only
+// matters when that invariant is broken by a thread dying mid-protocol.
+const uncombinedDeliveryWait = 2 * time.Second
+
 // updateUncombined is ablation #1: no flat combining — the thread appends
 // its own single-entry batch. The response arrives through the entry's
 // (node, slot) tag: either our own replay below delivers it, or a same-node
 // thread that replayed past our entry first already has.
-func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) R {
+func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
 	s.state.Store(slotTaken) // awaiting response via log replay
@@ -529,19 +615,33 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) R {
 	}
 	i.replicaWriteLock(r)
 	for idx := r.localTail.Load(); idx <= start; idx++ {
-		i.applyEntry(r, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.log.WaitGet(idx))
 		r.localTail.Store(idx + 1)
 	}
 	i.log.AdvanceCompleted(start + 1)
 	i.replicaWriteUnlock(r)
 	// Delivery is guaranteed by now: whoever advanced localTail past our
-	// entry did so under the replica lock and wrote the response first.
+	// entry did so under the replica lock and wrote the response first. A
+	// bounded wait guards the invariant instead of a process-killing panic:
+	// if it ever breaks (a replayer died mid-protocol), diagnose and retire
+	// this handle — its slot could still receive a late delivery, which a
+	// fresh op must never mistake for its own response.
 	if s.state.Load() != slotDone {
-		panic("core: uncombined update response not delivered")
+		deadline := time.Now().Add(uncombinedDeliveryWait)
+		for s.state.Load() != slotDone {
+			if time.Now().After(deadline) {
+				h.broken = fmt.Errorf(
+					"%w: entry %d (node %d slot %d) not delivered after %v; handle retired",
+					ErrResponseLost, start, h.node, h.slot, uncombinedDeliveryWait)
+				var zero R
+				return zero, h.broken
+			}
+			runtime.Gosched()
+		}
 	}
-	resp := s.resp
+	resp, err := s.resp, s.err
 	s.state.Store(slotEmpty)
-	return resp
+	return resp, err
 }
 
 // refreshOwn refreshes r to 'to'. haveLock says the caller already holds
@@ -589,15 +689,17 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 
 // readOnly is Algorithm 1's ReadOnly (§5.3): wait until the local replica
 // reflects completedTail as of the start of the read, then read locally.
-func (i *Instance[O, R]) readOnly(h *Handle[O, R], op O) R {
+func (i *Instance[O, R]) readOnly(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
-	resp, _ := i.readOnlyVia(h, func() (R, bool) { return r.ds.Execute(op), true })
-	return resp
+	resp, _, err := i.readOnlyVia(h, func() (R, bool) { return r.ds.Execute(op), true })
+	return resp, err
 }
 
 // readOnlyVia runs fn against a sufficiently fresh local replica under the
-// read-side lock, returning fn's result. fn must not modify the replica.
-func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, bool) {
+// read-side lock, returning fn's result. fn must not modify the replica. A
+// panic inside fn is contained (the read lock is still released) and
+// returned as a *PanicError with done=true.
+func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, bool, error) {
 	i.readOps.Add(1)
 	r := i.replicas[h.node]
 	var readTail uint64
@@ -617,9 +719,9 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, b
 				runtime.Gosched()
 			}
 		}
-		resp, done := fn()
+		resp, done, err := i.safeRead(fn)
 		r.combinerLock.Unlock()
-		return resp, done
+		return resp, done, err
 	}
 	for r.localTail.Load() < readTail {
 		if r.combinerLock.Locked() {
@@ -642,9 +744,9 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, b
 		r.refresher.Unlock()
 	}
 	r.rw.RLock(h.slot)
-	resp, done := fn()
+	resp, done, err := i.safeRead(fn)
 	r.rw.RUnlock(h.slot)
-	return resp, done
+	return resp, done, err
 }
 
 // Stats returns a snapshot of internal counters.
@@ -656,6 +758,8 @@ func (i *Instance[O, R]) Stats() Stats {
 		HelpedEntries:   i.helpedEntries.Load(),
 		ReadOps:         i.readOps.Load(),
 		UpdateOps:       i.updateOps.Load(),
+		Panics:          i.panics.Load(),
+		Stalls:          i.stalls.Load(),
 	}
 }
 
@@ -694,7 +798,7 @@ func (i *Instance[O, R]) Quiesce() {
 	for _, r := range i.replicas {
 		i.replicaWriteLock(r)
 		for idx := r.localTail.Load(); idx < to; idx++ {
-			i.applyEntry(r, i.log.WaitGet(idx))
+			i.applyEntry(r, idx, i.log.WaitGet(idx))
 			r.localTail.Store(idx + 1)
 		}
 		i.replicaWriteUnlock(r)
@@ -708,7 +812,7 @@ func (i *Instance[O, R]) InspectReplica(node int, fn func(ds Sequential[O, R])) 
 	to := i.log.Completed()
 	i.replicaWriteLock(r)
 	for idx := r.localTail.Load(); idx < to; idx++ {
-		i.applyEntry(r, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.log.WaitGet(idx))
 		r.localTail.Store(idx + 1)
 	}
 	fn(r.ds)

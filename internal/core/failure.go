@@ -1,0 +1,309 @@
+// Failure containment for NR (this file is an addition over the paper).
+//
+// The paper's protocol assumes Sequential.Execute always returns. §6 concedes
+// the weakest point of the design: a thread that stops making progress
+// mid-protocol — in particular a combiner — blocks its node and, once the log
+// fills, every appender. The seed already defends against *idle* nodes
+// (inactive-replica helping, dedicated combiners); this file defends against
+// the two remaining hazards:
+//
+//   - User code that panics. Every site that runs user Execute does so
+//     through safeExecute/safeRead, which convert a panic into a *PanicError
+//     delivered to the waiting thread like any response. Because Execute is
+//     required to be deterministic, every replica replaying the same log
+//     entry observes the same panic at the same point, so replicas remain
+//     convergent (including any partial mutation the panicking op made — it
+//     is the same partial mutation everywhere). Handle.TryExecute surfaces
+//     the outcome as an error; Handle.Execute re-raises it on the submitting
+//     goroutine, where the caller expects their own panic to appear.
+//
+//   - User code that panics *non-deterministically* (a contract violation:
+//     replicas diverge). A lightweight tracker records, per absolute log
+//     index, which replicas panicked and with what message. Mixed outcomes or
+//     mismatched messages poison the instance: a sticky state in which
+//     TryExecute fails fast with ErrPoisoned rather than serving reads from
+//     replicas that no longer agree. Detection is best-effort (it catches
+//     divergence whenever some replica applies the entry after the first
+//     panic was recorded) — the property it protects is "no silent wrong
+//     answers after observed divergence", not "all divergence is observed".
+//
+//   - A combiner that stalls (preempted, or stuck inside a slow Execute).
+//     The combiner lock is a StampedMutex; an opt-in watchdog goroutine
+//     (Options.StallThreshold) samples hold times, counts stalls, exposes
+//     them through Stats/Health, and runs the existing helping path so the
+//     rest of the machine keeps consuming the log while the stalled node
+//     recovers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// noIndex marks a panic that did not come from a logged entry (read path).
+const noIndex = ^uint64(0)
+
+// ErrPoisoned is reported (wrapped, via errors.Is) once NR has observed
+// replicas diverge — user Execute panicked on some replicas but not others,
+// or with different panic values, violating the determinism contract of §4.
+// The state is sticky: the replicas can no longer be trusted to agree, so
+// every subsequent TryExecute fails fast.
+var ErrPoisoned = errors.New("core: instance poisoned by non-deterministic Sequential.Execute panic")
+
+// ErrResponseLost is reported when an uncombined update's response was not
+// delivered within the bounded wait — the delivery invariant documented at
+// updateUncombined was broken (a replayer died mid-protocol). The submitting
+// handle is left unusable (sticky per-handle error) because a late delivery
+// into its slot could otherwise be mistaken for a later op's response.
+var ErrResponseLost = errors.New("core: uncombined update response not delivered within bound")
+
+// PanicError is the outcome of an operation whose Sequential.Execute
+// panicked. It is delivered to the submitting thread through TryExecute (or
+// re-raised by Execute) regardless of which thread — combiner, helper,
+// reader, dedicated combiner — actually ran the operation.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack of the goroutine that executed the operation, captured
+	// at recovery. Note this is the executing thread's stack (often a combiner
+	// on another goroutine), not the submitting thread's.
+	Stack string
+	// Index is the absolute log index of the operation, or ^uint64(0) when the
+	// panic occurred on the read path (the op was never logged).
+	Index uint64
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	if e.Index == noIndex {
+		return fmt.Sprintf("core: Sequential.Execute panicked on read path: %v", e.Value)
+	}
+	return fmt.Sprintf("core: Sequential.Execute panicked at log index %d: %v", e.Index, e.Value)
+}
+
+// Health is a point-in-time report of an instance's failure state.
+type Health struct {
+	// Poisoned is true once replica divergence has been observed (sticky).
+	Poisoned bool
+	// PoisonReason describes the first observed divergence, empty otherwise.
+	PoisonReason string
+	// Panics counts operations whose Execute panicked (contained).
+	Panics uint64
+	// Stalls counts distinct combiner-lock acquisitions the watchdog saw
+	// exceed StallThreshold (0 when the watchdog is disabled).
+	Stalls uint64
+	// StalledNodes lists nodes whose combiner lock is held past
+	// StallThreshold right now (nil when the watchdog is disabled).
+	StalledNodes []int
+}
+
+// Healthy reports whether nothing is currently wrong: not poisoned and no
+// node's combiner presently stalled. Past contained panics and recovered
+// stalls do not make an instance unhealthy.
+func (h Health) Healthy() bool { return !h.Poisoned && len(h.StalledNodes) == 0 }
+
+// panicRecord tracks one logged entry's observed panic outcomes across
+// replicas.
+type panicRecord struct {
+	msg        string // rendered panic value of the first observer
+	panickedBy uint64 // bitmask of replica ids that panicked
+	okBy       uint64 // bitmask of replica ids that applied without panicking
+}
+
+// panicTracker detects divergent panic outcomes. The common case — no
+// outstanding panic records — costs one atomic load per applied entry.
+type panicTracker struct {
+	active atomic.Int64 // number of live records; hot-path gate
+	mu     sync.Mutex
+	recs   map[uint64]*panicRecord
+}
+
+// recordPanic notes that replica r panicked at idx with message msg and
+// returns a poison reason if this reveals divergence ("" otherwise). It also
+// retires records every replica has moved past (minTail).
+func (t *panicTracker) recordPanic(replica int32, idx uint64, msg string, minTail uint64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recs == nil {
+		t.recs = make(map[uint64]*panicRecord)
+	}
+	for i, rec := range t.recs {
+		// Retired: every replica applied i; keep divergent ones until poisoned.
+		if i < minTail && rec.okBy == 0 {
+			delete(t.recs, i)
+		}
+	}
+	rec := t.recs[idx]
+	if rec == nil {
+		rec = &panicRecord{msg: msg}
+		t.recs[idx] = rec
+	}
+	rec.panickedBy |= 1 << uint(replica)
+	t.active.Store(int64(len(t.recs)))
+	if rec.msg != msg {
+		return fmt.Sprintf("entry %d panicked with %q on one replica and %q on replica %d", idx, rec.msg, msg, replica)
+	}
+	if rec.okBy != 0 {
+		return fmt.Sprintf("entry %d panicked with %q on replica %d but applied cleanly elsewhere", idx, msg, replica)
+	}
+	return ""
+}
+
+// recordOK notes that replica r applied idx without panicking; it returns a
+// poison reason if some replica panicked on the same entry. Callers gate on
+// active() so this stays off the hot path.
+func (t *panicTracker) recordOK(replica int32, idx uint64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := t.recs[idx]
+	if rec == nil {
+		return ""
+	}
+	rec.okBy |= 1 << uint(replica)
+	return fmt.Sprintf("entry %d applied cleanly on replica %d but panicked with %q elsewhere", idx, replica, rec.msg)
+}
+
+// poison marks the instance poisoned with the first observed reason.
+func (i *Instance[O, R]) poison(reason string) {
+	i.poisonMu.Lock()
+	if i.poisonReason == "" {
+		i.poisonReason = reason
+	}
+	i.poisonMu.Unlock()
+	i.poisoned.Store(true)
+}
+
+// poisonedErr returns the sticky poison error (nil when healthy).
+func (i *Instance[O, R]) poisonedErr() error {
+	if !i.poisoned.Load() {
+		return nil
+	}
+	i.poisonMu.Lock()
+	reason := i.poisonReason
+	i.poisonMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrPoisoned, reason)
+}
+
+// safeExecute runs e.op against r's structure with panic containment. idx is
+// the absolute log index (noIndex for unlogged ops). The returned error is
+// nil or a *PanicError.
+func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			if idx != noIndex && i.tracker.active.Load() != 0 {
+				if reason := i.tracker.recordOK(r.id, idx); reason != "" {
+					i.poison(reason)
+				}
+			}
+			return
+		}
+		i.panics.Add(1)
+		pe := &PanicError{Value: p, Stack: string(debug.Stack()), Index: idx}
+		if idx != noIndex {
+			if reason := i.tracker.recordPanic(r.id, idx, fmt.Sprint(p), i.log.MinLocalTail()); reason != "" {
+				i.poison(reason)
+			}
+		}
+		err = pe
+	}()
+	resp = r.ds.Execute(op)
+	return resp, nil
+}
+
+// safeRead runs a read-path fn (local Execute or TryReadOnly) with panic
+// containment; the replica lock held by the caller is released normally on
+// the contained path. A panic reports done=true so the caller does not retry
+// the operation on the update path.
+func (i *Instance[O, R]) safeRead(fn func() (R, bool)) (resp R, done bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			i.panics.Add(1)
+			err = &PanicError{Value: p, Stack: string(debug.Stack()), Index: noIndex}
+			done = true
+		}
+	}()
+	resp, done = fn()
+	return resp, done, nil
+}
+
+// Health reports the instance's current failure state.
+func (i *Instance[O, R]) Health() Health {
+	h := Health{
+		Panics: i.panics.Load(),
+		Stalls: i.stalls.Load(),
+	}
+	if err := i.poisonedErr(); err != nil {
+		h.Poisoned = true
+		i.poisonMu.Lock()
+		h.PoisonReason = i.poisonReason
+		i.poisonMu.Unlock()
+	}
+	if th := i.opts.StallThreshold; th > 0 {
+		now := time.Now().UnixNano()
+		for n, r := range i.replicas {
+			if r.combinerLock.HeldFor(now) > th {
+				h.StalledNodes = append(h.StalledNodes, n)
+			}
+		}
+	}
+	return h
+}
+
+// watchdog samples combiner-lock hold times (§6's stalled-thread hazard).
+// On detecting a hold longer than StallThreshold it counts the stall once
+// per acquisition and runs the existing recovery action — help every replica
+// it can lock catch up to completedTail — so log consumption continues while
+// the stalled combiner is out.
+func (i *Instance[O, R]) watchdog() {
+	defer i.stopWG.Done()
+	th := i.opts.StallThreshold
+	period := th / 4
+	if period < 100*time.Microsecond {
+		period = 100 * time.Microsecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	counted := make([]int64, len(i.replicas)) // acquisition stamp already counted as a stall
+	for {
+		select {
+		case <-i.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		stalled := false
+		for n, r := range i.replicas {
+			since := r.combinerLock.HeldSince()
+			if since == 0 || time.Duration(now-since) <= th {
+				continue
+			}
+			stalled = true
+			if counted[n] != since {
+				counted[n] = since
+				i.stalls.Add(1)
+			}
+		}
+		if !stalled {
+			continue
+		}
+		// Recovery: the inactive-replica helping path, bounded by
+		// completedTail (safe against in-flight combiners; see package doc).
+		to := i.log.Completed()
+		for _, r2 := range i.replicas {
+			if r2.localTail.Load() >= to {
+				continue
+			}
+			if i.replicaTryWriteLock(r2) {
+				before := r2.localTail.Load()
+				i.refreshTo(r2, to)
+				i.helpedEntries.Add(r2.localTail.Load() - before)
+				i.replicaWriteUnlock(r2)
+			}
+		}
+	}
+}

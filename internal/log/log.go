@@ -166,6 +166,14 @@ func (l *Log[O]) TryReserve(n int) (uint64, bool) {
 	}
 }
 
+// MinLocalTail recomputes logMin from the registered replicas' localTails and
+// returns it: every entry below this index has been applied by every replica.
+// NR's failure bookkeeping uses it to retire per-entry panic records.
+func (l *Log[O]) MinLocalTail() uint64 {
+	l.refreshMin()
+	return l.min.Load()
+}
+
 // Fill publishes op at absolute index idx. The entry must have been reserved
 // by the caller. The marker store is the linearization of the append: readers
 // treat an unmarked entry as empty.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/core"
@@ -56,26 +57,70 @@ type request struct {
 	resp chan StoreResult
 }
 
+// Default per-connection deadlines. The read deadline bounds how long an
+// idle connection can pin server resources (and how long Close waits for
+// it); the write deadline keeps a stuck client from wedging a handler.
+const (
+	DefaultReadTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
 // Server is a RESP server: connections parse commands and hand them to a
 // worker pool; each worker owns a registered executor (the paper's
 // thread-pool structure, §7).
+//
+// Failure containment: each connection handler recovers its own panics and
+// closes only that connection; each worker recovers panics escaping the
+// keyspace (e.g. a contained NR user-code panic re-raised by Execute) and
+// answers with an error reply instead of dying; Close stops accepting, lets
+// in-flight commands finish, unblocks idle readers, and only then stops the
+// workers.
 type Server struct {
-	shared  Shared
-	ln      net.Listener
-	queue   chan request
-	wg      sync.WaitGroup
-	connsWG sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
+	shared       Shared
+	ln           net.Listener
+	queue        chan request
+	wg           sync.WaitGroup
+	connsWG      sync.WaitGroup
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithReadTimeout sets the per-connection read deadline, refreshed before
+// every command read. Zero disables it (not recommended: Close then has to
+// force-close idle connections mid-keepalive).
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithWriteTimeout sets the per-connection write deadline, refreshed before
+// every reply. Zero disables it.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
 }
 
 // NewServer builds a server over the shared keyspace with the given worker
 // count.
-func NewServer(shared Shared, workers int) (*Server, error) {
+func NewServer(shared Shared, workers int, opts ...ServerOption) (*Server, error) {
 	if workers < 1 {
 		return nil, errors.New("miniredis: need at least one worker")
 	}
-	s := &Server{shared: shared, queue: make(chan request, 1024)}
+	s := &Server{
+		shared:       shared,
+		queue:        make(chan request, 1024),
+		conns:        make(map[net.Conn]struct{}),
+		readTimeout:  DefaultReadTimeout,
+		writeTimeout: DefaultWriteTimeout,
+	}
+	for _, o := range opts {
+		o(s)
+	}
 	for i := 0; i < workers; i++ {
 		ex, err := shared.Register()
 		if err != nil {
@@ -90,8 +135,20 @@ func NewServer(shared Shared, workers int) (*Server, error) {
 func (s *Server) worker(ex baseline.Executor[StoreOp, StoreResult]) {
 	defer s.wg.Done()
 	for req := range s.queue {
-		req.resp <- ex.Execute(req.op)
+		req.resp <- safeExecute(ex, req.op)
 	}
+}
+
+// safeExecute runs one op, converting a panic escaping the keyspace — NR
+// re-raises contained user-code panics from Execute — into an error reply,
+// so one poisonous command cannot kill a pool worker.
+func safeExecute(ex baseline.Executor[StoreOp, StoreResult], op StoreOp) (res StoreResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = StoreResult{Err: fmt.Sprintf("internal error executing command: %v", p)}
+		}
+	}()
+	return ex.Execute(op)
 }
 
 // Serve accepts connections on addr until Close. It returns the bound
@@ -124,23 +181,56 @@ func (s *Server) Serve(addr string, ready func(net.Addr)) error {
 			}
 			return err
 		}
+		if !s.track(conn) {
+			conn.Close() // lost the race with Close
+			continue
+		}
 		s.connsWG.Add(1)
 		go s.handle(conn)
 	}
 }
 
+// track registers a live connection, refusing when the server is closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.connsWG.Done()
+	defer s.untrack(conn)
 	defer conn.Close()
+	// A panic anywhere in this connection's parse/execute/reply cycle —
+	// protocol code fed hostile bytes, say — tears down only this
+	// connection: the deferred Close above runs, the server keeps serving.
+	defer func() { _ = recover() }()
 	r := bufio.NewReader(conn)
 	w := NewWriter(bufio.NewWriter(conn))
 	respCh := make(chan StoreResult, 1)
 	for {
+		if !s.armRead(conn) {
+			return
+		}
 		args, err := ReadCommand(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			// EOF and deadline expiry (idle timeout, or Close unblocking
+			// us) are normal disconnects; only protocol garbage earns an
+			// error reply.
+			var ne net.Error
+			if !errors.Is(err, io.EOF) && !(errors.As(err, &ne) && ne.Timeout()) {
 				_ = w.Error("protocol error")
-				_ = w.Flush()
+				_ = s.flush(conn, w)
 			}
 			return
 		}
@@ -149,24 +239,64 @@ func (s *Server) handle(conn net.Conn) {
 			if err := w.Error(errMsg); err != nil {
 				return
 			}
-			if err := w.Flush(); err != nil {
+			if err := s.flush(conn, w); err != nil {
 				return
 			}
 			continue
 		}
-		s.queue <- request{op: op, resp: respCh}
+		if !s.enqueue(request{op: op, resp: respCh}) {
+			_ = w.Error("server shutting down")
+			_ = s.flush(conn, w)
+			return
+		}
 		res := <-respCh
 		if err := WriteResult(w, op, res); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if err := s.flush(conn, w); err != nil {
 			return
 		}
 	}
 }
 
-// Close stops accepting, waits for open connections to finish their current
-// commands, and stops the workers.
+// armRead refreshes the per-connection read deadline for the next command.
+// It shares the server mutex with Close so a handler cannot re-arm a long
+// deadline after Close has expired it — it sees closed and bows out instead.
+func (s *Server) armRead(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.readTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+	}
+	return true
+}
+
+// enqueue hands a request to the worker pool unless the server has begun
+// shutting down (guarding the send against a closed queue).
+func (s *Server) enqueue(req request) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.queue <- req
+	return true
+}
+
+// flush writes buffered replies under the write deadline.
+func (s *Server) flush(conn net.Conn, w *Writer) error {
+	if s.writeTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	return w.Flush()
+}
+
+// Close stops accepting, lets every connection finish the command it is
+// executing (replies included), unblocks connections idle in a read, and
+// then stops the workers. Idempotent and safe to call concurrently.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -175,6 +305,12 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	ln := s.ln
+	// Expire pending reads so handlers parked in ReadCommand return
+	// immediately; handlers mid-command finish and reply first because the
+	// deadline only interrupts the *next* read.
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()

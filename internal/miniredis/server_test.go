@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/topology"
 )
 
@@ -218,4 +220,172 @@ func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(shared, 0); err == nil {
 		t.Error("0 workers accepted")
 	}
+}
+
+// panicExec wraps an executor with an injected panic on SET kaboom, standing
+// in for a contained NR user-code panic re-raised by Execute.
+type panicExec struct {
+	inner baseline.Executor[StoreOp, StoreResult]
+}
+
+func (p panicExec) Execute(op StoreOp) StoreResult {
+	if op.Cmd == CmdSet && op.Key == "kaboom" {
+		panic("injected store panic")
+	}
+	return p.inner.Execute(op)
+}
+
+type panicShared struct{ inner Shared }
+
+func (p panicShared) Register() (baseline.Executor[StoreOp, StoreResult], error) {
+	ex, err := p.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	return panicExec{ex}, nil
+}
+
+// TestServerWorkerSurvivesExecutePanic: a panic escaping the keyspace turns
+// into an error reply on the offending connection only; the worker pool and
+// every other connection keep working.
+func TestServerWorkerSurvivesExecutePanic(t *testing.T) {
+	inner, err := NewShared(MethodSL, topology.New(1, 2, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(panicShared{inner}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan net.Addr, 1)
+	go func() { _ = srv.Serve("127.0.0.1:0", func(a net.Addr) { addrCh <- a }) }()
+	addr := <-addrCh
+	t.Cleanup(srv.Close)
+
+	c := dial(t, addr)
+	for i := 0; i < 3; i++ { // hit both workers repeatedly
+		if got := c.cmd(t, "SET", "kaboom", "x"); !strings.HasPrefix(got, "-ERR internal error") {
+			t.Fatalf("panic op reply = %q, want -ERR internal error", got)
+		}
+	}
+	// Same connection still works.
+	if got := c.cmd(t, "SET", "fine", "1"); got != "+OK" {
+		t.Errorf("SET after panic = %q", got)
+	}
+	// Fresh connections too.
+	c2 := dial(t, addr)
+	if got := c2.cmd(t, "GET", "fine"); got != "1" {
+		t.Errorf("GET on new conn = %q", got)
+	}
+}
+
+// TestServerCloseWithIdleClient: Close must return even while a client sits
+// idle in a keepalive read (the pre-hardening server waited for the client
+// to hang up first).
+func TestServerCloseWithIdleClient(t *testing.T) {
+	srv, addr := startServer(t, MethodSL)
+	c := dial(t, addr)
+	if got := c.cmd(t, "PING"); got != "+PONG" {
+		t.Fatalf("PING = %q", got)
+	}
+	// Client idles; Close must not wait on it.
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+	// The idle client observes the disconnect.
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Error("idle connection still open after Close")
+	}
+}
+
+// slowExec delays SET so a command can be in flight during Close.
+type slowExec struct {
+	inner baseline.Executor[StoreOp, StoreResult]
+}
+
+func (s slowExec) Execute(op StoreOp) StoreResult {
+	if op.Cmd == CmdSet {
+		time.Sleep(100 * time.Millisecond)
+	}
+	return s.inner.Execute(op)
+}
+
+type slowShared struct{ inner Shared }
+
+func (s slowShared) Register() (baseline.Executor[StoreOp, StoreResult], error) {
+	ex, err := s.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	return slowExec{ex}, nil
+}
+
+// TestServerCloseDrainsInFlight: a command already executing when Close is
+// called still gets its reply before the connection goes down.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	inner, err := NewShared(MethodSL, topology.New(1, 2, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(slowShared{inner}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan net.Addr, 1)
+	go func() { _ = srv.Serve("127.0.0.1:0", func(a net.Addr) { addrCh <- a }) }()
+	addr := <-addrCh
+	t.Cleanup(srv.Close)
+
+	c := dial(t, addr)
+	reply := make(chan string, 1)
+	go func() { reply <- c.cmd(t, "SET", "slow", "v") }()
+	time.Sleep(20 * time.Millisecond) // let the command reach the worker
+	srv.Close()
+	select {
+	case got := <-reply:
+		if got != "+OK" {
+			t.Errorf("in-flight SET during Close = %q, want +OK", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight command never got its reply")
+	}
+}
+
+// TestServerReadTimeoutDisconnectsIdleClient: WithReadTimeout bounds how
+// long an idle connection can hold server resources.
+func TestServerReadTimeoutDisconnectsIdleClient(t *testing.T) {
+	shared, err := NewShared(MethodSL, topology.New(1, 2, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(shared, 1, WithReadTimeout(50*time.Millisecond), WithWriteTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan net.Addr, 1)
+	go func() { _ = srv.Serve("127.0.0.1:0", func(a net.Addr) { addrCh <- a }) }()
+	addr := <-addrCh
+	t.Cleanup(srv.Close)
+
+	c := dial(t, addr)
+	if got := c.cmd(t, "PING"); got != "+PONG" {
+		t.Fatalf("PING = %q", got)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Error("idle connection not closed by read timeout")
+	}
+}
+
+// TestServerRejectsCommandsDuringShutdown: a connection that slips a command
+// in after Close flips the flag gets a clean shutdown error, not a panic on
+// the closed queue.
+func TestServerDoubleClose(t *testing.T) {
+	srv, _ := startServer(t, MethodSL)
+	srv.Close()
+	srv.Close() // idempotent
 }

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Lock is the common interface over the distributed and centralized
@@ -171,3 +172,49 @@ func (m *SpinMutex) Unlock() {
 // Locked reports whether the lock is currently held (racy; for waiters that
 // poll, as non-combiner threads do in NR's Combine loop).
 func (m *SpinMutex) Locked() bool { return m.state.Load() != 0 }
+
+// StampedMutex is a SpinMutex that records when it was acquired, so an
+// external observer (NR's stall watchdog) can tell how long the current
+// holder has been inside the critical section. The stamp is written after
+// the acquisition CAS and cleared before the release store, so readers of
+// HeldSince may observe a slightly stale value — fine for a watchdog that
+// only cares about multi-millisecond stalls.
+type StampedMutex struct {
+	SpinMutex
+	since atomic.Int64 // unix nanos of acquisition; 0 while free
+}
+
+// Lock spins until the lock is acquired, then stamps the acquisition time.
+func (m *StampedMutex) Lock() {
+	m.SpinMutex.Lock()
+	m.since.Store(time.Now().UnixNano())
+}
+
+// TryLock attempts the lock without blocking, stamping on success.
+func (m *StampedMutex) TryLock() bool {
+	if !m.SpinMutex.TryLock() {
+		return false
+	}
+	m.since.Store(time.Now().UnixNano())
+	return true
+}
+
+// Unlock clears the stamp and releases the lock.
+func (m *StampedMutex) Unlock() {
+	m.since.Store(0)
+	m.SpinMutex.Unlock()
+}
+
+// HeldSince returns the unix-nano acquisition time of the current holder, or
+// 0 if the lock is free (racy snapshot, see type comment).
+func (m *StampedMutex) HeldSince() int64 { return m.since.Load() }
+
+// HeldFor returns how long the current holder has held the lock as of 'now'
+// (unix nanos), or 0 if the lock is free.
+func (m *StampedMutex) HeldFor(now int64) time.Duration {
+	s := m.since.Load()
+	if s == 0 || now < s {
+		return 0
+	}
+	return time.Duration(now - s)
+}

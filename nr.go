@@ -23,6 +23,7 @@ package nr
 
 import (
 	"errors"
+	"time"
 
 	"github.com/asplos17/nr/internal/core"
 	"github.com/asplos17/nr/internal/topology"
@@ -54,10 +55,34 @@ type Config struct {
 	// paper's §4 optional optimization and its §6 inactive-replica fix).
 	// Call Close when done with the instance.
 	DedicatedCombiners bool
+	// StallThreshold, when positive, starts a watchdog that flags combiners
+	// holding their lock longer than this — a stalled or preempted thread,
+	// the failure mode §6 of the paper singles out — and surfaces them via
+	// Stats and Health while the helping path keeps the log draining. Call
+	// Close when done with the instance.
+	StallThreshold time.Duration
 }
 
 // Stats mirrors core.Stats: counters describing internal behaviour.
 type Stats = core.Stats
+
+// Health mirrors core.Health: a point-in-time failure-state report.
+type Health = core.Health
+
+// PanicError is the error TryExecute returns when the operation's
+// Sequential.Execute panicked; Execute re-raises it as a panic on the
+// submitting goroutine. Value holds the original panic value.
+type PanicError = core.PanicError
+
+// ErrPoisoned is reported (via errors.Is) once replicas have been observed
+// to diverge — Execute panicked on some replicas but not others, violating
+// the §4 determinism contract. The state is sticky; see DESIGN.md's
+// "Failure model".
+var ErrPoisoned = core.ErrPoisoned
+
+// ErrResponseLost is reported when a response delivery invariant broke (a
+// thread died mid-protocol); the affected handle is retired.
+var ErrResponseLost = core.ErrResponseLost
 
 // Instance is a replicated, linearizable version of a sequential structure.
 type Instance[O, R any] struct {
@@ -80,6 +105,7 @@ func New[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R],
 		LogEntries:         cfg.LogEntries,
 		MinBatch:           cfg.MinBatch,
 		DedicatedCombiners: cfg.DedicatedCombiners,
+		StallThreshold:     cfg.StallThreshold,
 	}
 	if cfg.Nodes != 0 {
 		smt := cfg.SMT
@@ -125,6 +151,11 @@ func (i *Instance[O, R]) Replicas() int { return i.inner.Replicas() }
 // Stats returns internal counters (combining rounds, reads, helps, ...).
 func (i *Instance[O, R]) Stats() Stats { return i.inner.Stats() }
 
+// Health reports the instance's failure state: contained panics, currently
+// stalled combiners (when StallThreshold is set), and whether the instance
+// has been poisoned by a non-deterministic Execute panic.
+func (i *Instance[O, R]) Health() Health { return i.inner.Health() }
+
 // MemoryBytes reports the shared log's footprint plus, for replicas whose
 // sequential structure implements interface{ MemoryBytes() uint64 }, the
 // replicas' footprints — the space cost the paper tabulates.
@@ -153,8 +184,17 @@ func (i *Instance[O, R]) Inspect(node int, fn func(s Sequential[O, R])) {
 	i.inner.InspectReplica(node, func(ds core.Sequential[O, R]) { fn(ds) })
 }
 
-// Execute runs op with linearizable semantics.
+// Execute runs op with linearizable semantics. If the operation's
+// Sequential.Execute panics — on whichever goroutine ran it — the panic is
+// re-raised here wrapped in a *PanicError; the NR machinery itself survives.
+// Use TryExecute to receive contained failures as errors instead.
 func (h *Handle[O, R]) Execute(op O) R { return h.inner.Execute(op) }
+
+// TryExecute runs op with linearizable semantics, reporting contained
+// failures as errors: a *PanicError when user Execute panicked, ErrPoisoned
+// once replicas have diverged, ErrResponseLost when a delivery invariant
+// broke. A nil error means resp is the operation's result.
+func (h *Handle[O, R]) TryExecute(op O) (R, error) { return h.inner.TryExecute(op) }
 
 // Node returns the node this handle is bound to.
 func (h *Handle[O, R]) Node() int { return h.inner.Node() }
