@@ -1,13 +1,14 @@
-# Test tiers. tier1 is the gate every change must pass; tier2 adds vet and
-# the race detector; chaos replays the seeded fault-injection schedules
+# Test tiers. tier1 is the gate every change must pass; tier2 adds the race
+# detector; chaos replays the seeded fault-injection schedules
 # (internal/chaos, seeds 1 / 42 / 0xc0ffee / 0xdeadbeef) under -race.
 
 GO ?= go
 
-.PHONY: tier1 tier2 chaos test build vet race
+.PHONY: tier1 tier2 chaos test build vet race bench
 
-tier1: ## build + unit tests (the acceptance gate)
+tier1: ## build + vet + unit tests (the acceptance gate)
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 tier2: ## vet + full race-detector run
@@ -16,6 +17,9 @@ tier2: ## vet + full race-detector run
 
 chaos: ## fault-injection suite under the race detector, fixed seeds
 	$(GO) test -race -count=1 -v ./internal/chaos/
+
+bench: ## real-implementation benchmark, machine-readable output
+	$(GO) run ./cmd/nrbench -real -threads 8 -json BENCH_PR2.json
 
 build:
 	$(GO) build ./...

@@ -11,6 +11,11 @@
 //
 // Thread-sweep experiments run on the deterministic NUMA simulator
 // (internal/sim); the memory tables measure the real implementation.
+//
+// -real instead benchmarks the actual NR implementation end to end (no
+// simulator): a mixed read/update workload against the public nr API with
+// metrics enabled, reporting throughput and per-class latency percentiles.
+// -json PATH writes the -real results as machine-readable JSON.
 package main
 
 import (
@@ -25,12 +30,30 @@ import (
 
 func main() {
 	var (
-		figID = flag.String("fig", "", "experiment id (e.g. 5b, 7c, 11a, 14, size)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		ops   = flag.Int("ops", 0, "operations per simulated thread (default 1500)")
+		figID    = flag.String("fig", "", "experiment id (e.g. 5b, 7c, 11a, 14, size)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		ops      = flag.Int("ops", 0, "operations per simulated thread (default 1500)")
+		real     = flag.Bool("real", false, "benchmark the real implementation (not the simulator)")
+		jsonPath = flag.String("json", "", "with -real: write results as JSON to this path")
+		duration = flag.Duration("dur", 2*time.Second, "with -real: measurement duration")
+		threads  = flag.Int("threads", 0, "with -real: worker goroutines (default GOMAXPROCS)")
+		readPct  = flag.Int("readpct", 90, "with -real: percentage of read operations")
 	)
 	flag.Parse()
+
+	if *real {
+		if err := runReal(realConfig{
+			Duration: *duration,
+			Threads:  *threads,
+			ReadPct:  *readPct,
+			JSONPath: *jsonPath,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	figs := bench.Figures()
 	if *list {

@@ -1,0 +1,186 @@
+// The -real benchmark: drive the actual NR implementation (the public nr
+// API, metrics observer attached) with a mixed read/update workload and
+// report throughput plus per-class latency percentiles — the same numbers
+// the paper's §8 figures are made of, measured rather than simulated.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	nr "github.com/asplos17/nr"
+)
+
+type realConfig struct {
+	Duration time.Duration
+	Threads  int
+	ReadPct  int
+	JSONPath string
+}
+
+// benchMap is the workload structure: a plain map, replicated by NR.
+type benchMap struct{ m map[uint64]uint64 }
+
+type benchOp struct {
+	key   uint64
+	val   uint64
+	write bool
+}
+
+func (b *benchMap) Execute(op benchOp) uint64 {
+	if op.write {
+		b.m[op.key] = op.val
+		return op.val
+	}
+	return b.m[op.key]
+}
+
+func (b *benchMap) IsReadOnly(op benchOp) bool { return !op.write }
+
+// latencyReport is one operation class's latency summary in the JSON output.
+type latencyReport struct {
+	Count  uint64 `json:"count"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	MeanNs uint64 `json:"mean_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+// realResult is the BENCH_PR2.json schema.
+type realResult struct {
+	Benchmark      string        `json:"benchmark"`
+	Threads        int           `json:"threads"`
+	DurationSecs   float64       `json:"duration_secs"`
+	ReadPct        int           `json:"read_pct"`
+	TotalOps       uint64        `json:"total_ops"`
+	ThroughputOpsS float64       `json:"throughput_ops_per_sec"`
+	Read           latencyReport `json:"read"`
+	Update         latencyReport `json:"update"`
+	BatchMean      float64       `json:"combiner_batch_mean"`
+	BatchP99       uint64        `json:"combiner_batch_p99"`
+	Combines       uint64        `json:"combine_rounds"`
+	CombinedOps    uint64        `json:"combined_ops"`
+}
+
+// xorshift is a tiny deterministic PRNG so the workload needs no locks and
+// no allocation.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+func runReal(cfg realConfig) error {
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	// Topology sized to the thread count: spread over up to 4 nodes like the
+	// paper's testbed, with room so registration cannot fail.
+	nodes := 4
+	if cfg.Threads < nodes {
+		nodes = cfg.Threads
+	}
+	perNode := (cfg.Threads + nodes - 1) / nodes
+	inst, err := nr.New(
+		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
+		nr.WithNodes(nodes, perNode, 1),
+		nr.WithMetrics(),
+	)
+	if err != nil {
+		return err
+	}
+
+	const keyspace = 1 << 16
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		h, err := inst.Register()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(h *nr.Handle[benchOp, uint64], seed uint64) {
+			defer wg.Done()
+			rng := xorshift(seed)
+			var ops uint64
+			for !stop.Load() {
+				r := rng.next()
+				op := benchOp{key: r % keyspace, val: r}
+				// r>>32 is uniform in [0, 2^32); compare against the read
+				// percentage scaled to that range.
+				op.write = (r>>32)%100 >= uint64(cfg.ReadPct)
+				h.Execute(op)
+				ops++
+			}
+			total.Add(ops)
+		}(h, uint64(2*t+1))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := inst.Metrics()
+	if m.Observed == nil {
+		return fmt.Errorf("metrics observer missing from instance built WithMetrics")
+	}
+	o := m.Observed
+	res := realResult{
+		Benchmark:      "nr-map-mixed",
+		Threads:        cfg.Threads,
+		DurationSecs:   elapsed.Seconds(),
+		ReadPct:        cfg.ReadPct,
+		TotalOps:       total.Load(),
+		ThroughputOpsS: float64(total.Load()) / elapsed.Seconds(),
+		Read: latencyReport{
+			Count: o.Read.Count, P50Ns: o.Read.P50Ns, P99Ns: o.Read.P99Ns,
+			MeanNs: o.Read.MeanNs, MaxNs: o.Read.MaxNs,
+		},
+		Update: latencyReport{
+			Count: o.Update.Count, P50Ns: o.Update.P50Ns, P99Ns: o.Update.P99Ns,
+			MeanNs: o.Update.MeanNs, MaxNs: o.Update.MaxNs,
+		},
+		BatchMean:   o.Batch.Mean,
+		BatchP99:    o.Batch.P99,
+		Combines:    m.Stats.Combines,
+		CombinedOps: m.Stats.CombinedOps,
+	}
+
+	fmt.Printf("=== real NR benchmark ===\n")
+	fmt.Printf("threads=%d  read%%=%d  duration=%.1fs\n", res.Threads, res.ReadPct, res.DurationSecs)
+	fmt.Printf("throughput: %.2f Mops/s (%d ops)\n", res.ThroughputOpsS/1e6, res.TotalOps)
+	fmt.Printf("read   p50=%s p99=%s (n=%d)\n",
+		time.Duration(res.Read.P50Ns), time.Duration(res.Read.P99Ns), res.Read.Count)
+	fmt.Printf("update p50=%s p99=%s (n=%d)\n",
+		time.Duration(res.Update.P50Ns), time.Duration(res.Update.P99Ns), res.Update.Count)
+	fmt.Printf("combiner batches: mean=%.1f p99=%d over %d rounds\n",
+		res.BatchMean, res.BatchP99, res.Combines)
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

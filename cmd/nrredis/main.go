@@ -7,13 +7,22 @@
 //	nrredis -addr :6380 -method nr -workers 8 -nodes 4 -cores 14 -smt 2
 //
 // Then: redis-cli -p 6380 ZADD board 10 alice / ZRANK board alice / ...
+// The INFO command reports serving and NR metrics in redis style.
+//
+// With -metrics ADDR an HTTP sidecar serves the same observability data:
+//
+//	/metrics     — the full JSON snapshot (server counters + NR metrics)
+//	/health      — 200 while healthy, 503 once the keyspace is poisoned
+//	/debug/vars  — expvar, with the snapshot published under "nrredis"
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -24,6 +33,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
+		metrics = flag.String("metrics", "", "HTTP metrics address (e.g. 127.0.0.1:6390); empty disables")
 		method  = flag.String("method", "nr", "concurrency method: nr, sl, rwl, fc, fc+")
 		workers = flag.Int("workers", 8, "worker threads servicing requests")
 		nodes   = flag.Int("nodes", 4, "NUMA nodes in the software topology")
@@ -44,6 +54,26 @@ func main() {
 	srv, err := miniredis.NewServer(shared, *workers)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.Handle("/health", srv.HealthHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		expvar.Publish("nrredis", expvar.Func(func() any {
+			stats := srv.ServerStats()
+			if m, ok := srv.Metrics(); ok {
+				return map[string]any{"server": stats, "nr": m}
+			}
+			return map[string]any{"server": stats}
+		}))
+		go func() {
+			log.Printf("nrredis: metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("nrredis: metrics server: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -8,7 +8,7 @@
 // per goroutine to get a handle; handles are not safe for concurrent use,
 // instances are.
 //
-//	m, _ := collections.NewMap[string, int](nr.Config{})
+//	m, _ := collections.NewMap[string, int]()
 //	h, _ := m.Register()
 //	h.Put("k", 1)
 //	v, ok := h.Get("k")
@@ -73,11 +73,12 @@ type Map[K comparable, V any] struct {
 	inst *nr.Instance[mapOp[K, V], mapResp[V]]
 }
 
-// NewMap builds a map replicated per the topology in cfg.
-func NewMap[K comparable, V any](cfg nr.Config) (*Map[K, V], error) {
+// NewMap builds a map replicated per the given nr options (default topology
+// with none).
+func NewMap[K comparable, V any](opts ...nr.Option) (*Map[K, V], error) {
 	inst, err := nr.New(func() nr.Sequential[mapOp[K, V], mapResp[V]] {
 		return &seqMap[K, V]{m: make(map[K]V)}
-	}, cfg)
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -8,8 +8,8 @@ import (
 	nr "github.com/asplos17/nr"
 )
 
-func smallCfg() nr.Config {
-	return nr.Config{Nodes: 2, CoresPerNode: 3, LogEntries: 512}
+func smallCfg() nr.Option {
+	return nr.WithConfig(nr.Config{Nodes: 2, CoresPerNode: 3, LogEntries: 512})
 }
 
 func TestMapBasic(t *testing.T) {
@@ -166,7 +166,7 @@ func TestPriorityQueueConcurrentConservation(t *testing.T) {
 }
 
 func TestSortedSetBasic(t *testing.T) {
-	z, err := NewSortedSet(smallCfg(), 0)
+	z, err := NewSortedSet(0, smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestSortedSetBasic(t *testing.T) {
 }
 
 func TestSortedSetConcurrentLeaderboard(t *testing.T) {
-	z, err := NewSortedSet(smallCfg(), 7)
+	z, err := NewSortedSet(7, smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

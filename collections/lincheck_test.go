@@ -12,7 +12,7 @@ import (
 // facade and verifies them against the dictionary model.
 func TestMapLinearizable(t *testing.T) {
 	for round := 0; round < 40; round++ {
-		m, err := NewMap[int64, uint64](nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 128})
+		m, err := NewMap[int64, uint64](nr.WithNodes(2, 2, 1), nr.WithLogEntries(128))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -108,11 +108,12 @@ type PriorityQueue[T any] struct {
 	inst *nr.Instance[pqOp[T], pqResp[T]]
 }
 
-// NewPriorityQueue builds a priority queue replicated per cfg.
-func NewPriorityQueue[T any](cfg nr.Config) (*PriorityQueue[T], error) {
+// NewPriorityQueue builds a priority queue replicated per the given nr
+// options (default topology with none).
+func NewPriorityQueue[T any](opts ...nr.Option) (*PriorityQueue[T], error) {
 	inst, err := nr.New(func() nr.Sequential[pqOp[T], pqResp[T]] {
 		return &seqPQ[T]{}
-	}, cfg)
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

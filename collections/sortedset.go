@@ -13,15 +13,16 @@ type SortedSet struct {
 	inst *nr.Instance[ds.ZOp, ds.ZResult]
 }
 
-// NewSortedSet builds a sorted set replicated per cfg. Seed fixes skip-list
-// level choices so replicas stay identical; any constant works.
-func NewSortedSet(cfg nr.Config, seed uint64) (*SortedSet, error) {
+// NewSortedSet builds a sorted set replicated per the given nr options.
+// Seed fixes skip-list level choices so replicas stay identical; any
+// constant works (0 picks a default).
+func NewSortedSet(seed uint64, opts ...nr.Option) (*SortedSet, error) {
 	if seed == 0 {
 		seed = 0xabcdef
 	}
 	inst, err := nr.New(func() nr.Sequential[ds.ZOp, ds.ZResult] {
 		return ds.NewSeqSortedSet(64, seed)
-	}, cfg)
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

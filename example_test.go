@@ -25,7 +25,7 @@ func (r *register) IsReadOnly(op regOp) bool { return !op.write }
 // Example shows the three steps of using NR: wrap a sequential structure,
 // register the goroutine, execute linearizable operations.
 func Example() {
-	inst, err := nr.New(func() nr.Sequential[regOp, int] { return &register{} }, nr.Config{})
+	inst, err := nr.New(func() nr.Sequential[regOp, int] { return &register{} })
 	if err != nil {
 		panic(err)
 	}
@@ -38,11 +38,11 @@ func Example() {
 	// Output: 42
 }
 
-// ExampleConfig shows a custom software topology: two NUMA nodes with four
-// hardware threads each, and a smaller log.
-func ExampleConfig() {
+// ExampleWithNodes shows a custom software topology: two NUMA nodes with
+// four hardware threads each, and a smaller log.
+func ExampleWithNodes() {
 	inst, err := nr.New(func() nr.Sequential[regOp, int] { return &register{} },
-		nr.Config{Nodes: 2, CoresPerNode: 2, SMT: 2, LogEntries: 4096})
+		nr.WithNodes(2, 2, 2), nr.WithLogEntries(4096))
 	if err != nil {
 		panic(err)
 	}
@@ -57,7 +57,7 @@ func ExampleConfig() {
 // ExampleInstance_Inspect shows how to examine a quiesced replica.
 func ExampleInstance_Inspect() {
 	inst, _ := nr.New(func() nr.Sequential[regOp, int] { return &register{} },
-		nr.Config{Nodes: 2, CoresPerNode: 1, LogEntries: 256})
+		nr.WithNodes(2, 1, 1), nr.WithLogEntries(256))
 	h, _ := inst.Register()
 	h.Execute(regOp{write: true, val: 7})
 	inst.Quiesce()

@@ -62,7 +62,7 @@ func (s *kv) Execute(op kvOp) kvResp {
 func (s *kv) IsReadOnly(op kvOp) bool { return op.kind == 'g' || op.kind == 's' }
 
 func main() {
-	inst, err := nr.New(newKV, nr.Config{Nodes: 2, CoresPerNode: 6, SMT: 1})
+	inst, err := nr.New(newKV, nr.WithNodes(2, 6, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

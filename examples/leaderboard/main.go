@@ -17,7 +17,7 @@ func main() {
 	// One replica per node; the sorted set seed must match across replicas.
 	inst, err := nr.New(
 		func() nr.Sequential[ds.ZOp, ds.ZResult] { return ds.NewSeqSortedSet(1024, 42) },
-		nr.Config{Nodes: 4, CoresPerNode: 4, SMT: 1},
+		nr.WithNodes(4, 4, 1),
 	)
 	if err != nil {
 		log.Fatal(err)

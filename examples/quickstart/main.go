@@ -37,8 +37,8 @@ func (c *counters) Execute(o op) int64 {
 func (c *counters) IsReadOnly(o op) bool { return o.delta == 0 }
 
 func main() {
-	// The zero Config models the paper's machine: 4 NUMA nodes × 28 threads.
-	inst, err := nr.New(newCounters, nr.Config{})
+	// With no options New models the paper's machine: 4 NUMA nodes × 28 threads.
+	inst, err := nr.New(newCounters)
 	if err != nil {
 		log.Fatal(err)
 	}

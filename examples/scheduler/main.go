@@ -88,7 +88,7 @@ func (q *pq) Execute(op pqOp) pqResp {
 func (q *pq) IsReadOnly(op pqOp) bool { return op.kind == 'p' }
 
 func main() {
-	inst, err := nr.New(newPQ, nr.Config{Nodes: 4, CoresPerNode: 4, SMT: 1})
+	inst, err := nr.New(newPQ, nr.WithNodes(4, 4, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

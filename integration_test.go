@@ -19,7 +19,7 @@ func TestIntegration_LinearizabilityThroughPublicAPI(t *testing.T) {
 	newCtr := func() nr.Sequential[cOp, uint64] { return &apiCounter{} }
 	const rounds = 60
 	for round := 0; round < rounds; round++ {
-		inst, err := nr.New(newCtr, nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 128})
+		inst, err := nr.New(newCtr, nr.WithNodes(2, 2, 1), nr.WithLogEntries(128))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func (c *apiCounter) IsReadOnly(op cOp) bool { return !op.inc }
 // structure the repository ships through the public API concurrently and
 // checks replica agreement.
 func TestIntegration_EveryShippedStructureUnderNR(t *testing.T) {
-	cfg := nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 512}
+	cfg := nr.WithConfig(nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 512})
 
 	t.Run("skiplist-pq", func(t *testing.T) {
 		inst, err := nr.New(func() nr.Sequential[ds.PQOp, ds.PQResult] {

@@ -305,3 +305,9 @@ type NRAdapter[O, R any] struct {
 func (a *NRAdapter[O, R]) Register() (Executor[O, R], error) {
 	return a.Inst.Register()
 }
+
+// Metrics exposes the instance's unified observability snapshot so harnesses
+// driving NR through the Shared interface can still report it.
+func (a *NRAdapter[O, R]) Metrics() core.Metrics {
+	return a.Inst.Metrics()
+}

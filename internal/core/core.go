@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/asplos17/nr/internal/log"
+	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/rwlock"
 	"github.com/asplos17/nr/internal/topology"
 )
@@ -103,6 +104,13 @@ type Options struct {
 	// Health, and runs the helping path so other nodes keep consuming the
 	// log. Instances with a watchdog must be Closed.
 	StallThreshold time.Duration
+
+	// Observer, when non-nil, receives protocol events (combine rounds,
+	// reader refreshes, helping, log-tail contention, writer waits, stalls,
+	// contained panics, per-op latency). Hooks fire from hot paths: the
+	// observer must be concurrency-safe and non-blocking. A nil Observer
+	// costs one branch per event site.
+	Observer obs.Observer
 }
 
 func (o *Options) fillDefaults() {
@@ -118,15 +126,16 @@ func (o *Options) fillDefaults() {
 }
 
 // Stats counts internal events; useful for tests and the ablation study.
+// It is one slice of the richer Metrics snapshot (metrics.go).
 type Stats struct {
-	Combines        uint64 // combining rounds executed
-	CombinedOps     uint64 // update ops appended via combining
-	ReaderRefreshes uint64 // reads that refreshed the replica themselves
-	HelpedEntries   uint64 // log entries applied to other nodes' replicas
-	ReadOps         uint64 // read-only ops executed
-	UpdateOps       uint64 // update ops executed
-	Panics          uint64 // user Execute panics contained (see failure.go)
-	Stalls          uint64 // combiner stalls flagged by the watchdog
+	Combines        uint64 `json:"combines"`         // combining rounds executed
+	CombinedOps     uint64 `json:"combined_ops"`     // update ops appended via combining
+	ReaderRefreshes uint64 `json:"reader_refreshes"` // reads that refreshed the replica themselves
+	HelpedEntries   uint64 `json:"helped_entries"`   // log entries applied to other nodes' replicas
+	ReadOps         uint64 `json:"read_ops"`         // read-only ops executed
+	UpdateOps       uint64 `json:"update_ops"`       // update ops executed
+	Panics          uint64 `json:"panics"`           // user Execute panics contained (see failure.go)
+	Stalls          uint64 `json:"stalls"`           // combiner stalls flagged by the watchdog
 }
 
 // slot state machine values.
@@ -157,6 +166,12 @@ type entry[O any] struct {
 	slot int32
 }
 
+// takenSlot records one collected combining slot during a round.
+type takenSlot[O, R any] struct {
+	s    *slot[O, R]
+	slot int32
+}
+
 // replica is one node's copy of the structure plus its synchronization.
 type replica[O, R any] struct {
 	id           int32
@@ -171,6 +186,10 @@ type replica[O, R any] struct {
 	rw         rwlock.Lock
 	slots      []slot[O, R]
 	registered int // slots handed out on this node
+	// scratch is the combiner's batch buffer, reused across rounds so a
+	// combining round never allocates. Only the combiner-lock holder
+	// touches it.
+	scratch []takenSlot[O, R]
 }
 
 // Instance is a concurrent, NUMA-aware version of a sequential structure.
@@ -178,6 +197,8 @@ type Instance[O, R any] struct {
 	opts     Options
 	log      *log.Log[entry[O]]
 	replicas []*replica[O, R]
+	// observer mirrors opts.Observer for the hot paths' nil check.
+	observer obs.Observer
 
 	mu    sync.Mutex // guards registration
 	place *topology.Placement
@@ -219,9 +240,10 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 		return nil, err
 	}
 	inst := &Instance[O, R]{
-		opts:  opts,
-		log:   l,
-		place: topology.NewFillPlacement(opts.Topology),
+		opts:     opts,
+		log:      l,
+		observer: opts.Observer,
+		place:    topology.NewFillPlacement(opts.Topology),
 	}
 	for n := 0; n < opts.Topology.Nodes(); n++ {
 		r := &replica[O, R]{
@@ -229,11 +251,16 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 			ds:        create(),
 			localTail: l.RegisterReplica(),
 			slots:     make([]slot[O, R], maxBatch),
+			scratch:   make([]takenSlot[O, R], 0, maxBatch),
 		}
 		if opts.CentralizedReaderLock {
 			r.rw = rwlock.NewCentralized()
 		} else {
 			r.rw = rwlock.NewDistributed(maxBatch)
+		}
+		if o := opts.Observer; o != nil {
+			node := n
+			r.rw.SetWriterWaitHook(func(spins int) { o.WriterWait(node, spins) })
 		}
 		inst.replicas = append(inst.replicas, r)
 	}
@@ -304,6 +331,23 @@ type Handle[O, R any] struct {
 	broken error
 }
 
+// ErrClosed is reported (wrapped, via errors.Is) by Register and
+// RegisterOnNode after Close on an instance configured with dedicated
+// combiners: a fresh handle could land on a node none of whose threads are
+// active, and with the dedicated combiners gone that node's replica may
+// never drain the log again, eventually wedging every appender (§6). The
+// refusal is sticky — the dedicated combiners do not come back.
+var ErrClosed = errors.New("core: instance closed")
+
+// registerableLocked reports whether handing out new handles is still
+// sound; callers hold i.mu.
+func (i *Instance[O, R]) registerableLocked() error {
+	if i.opts.DedicatedCombiners && i.closed.Load() {
+		return fmt.Errorf("%w: dedicated combiners stopped, a new handle's node might never drain", ErrClosed)
+	}
+	return nil
+}
+
 // Register binds the caller to the next thread position under the paper's
 // fill placement (§8), skipping positions on nodes already filled by
 // explicit RegisterOnNode calls. It fails once every hardware thread is
@@ -311,6 +355,9 @@ type Handle[O, R any] struct {
 func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if err := i.registerableLocked(); err != nil {
+		return nil, err
+	}
 	total := i.opts.Topology.TotalThreads()
 	for i.place.Assigned() < total {
 		thread, node := i.place.Next()
@@ -330,6 +377,9 @@ func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if err := i.registerableLocked(); err != nil {
+		return nil, err
+	}
 	if node < 0 || node >= len(i.replicas) {
 		return nil, fmt.Errorf("core: node %d out of range [0,%d)", node, len(i.replicas))
 	}
@@ -388,26 +438,43 @@ func (h *Handle[O, R]) TryExecute(op O) (R, error) {
 		var zero R
 		return zero, err
 	}
+	if o := i.observer; o != nil {
+		start := time.Now()
+		resp, class, err := i.dispatch(h, op)
+		o.OpDone(h.node, class, time.Since(start))
+		return resp, err
+	}
+	resp, _, err := i.dispatch(h, op)
+	return resp, err
+}
+
+// dispatch routes op to the read or update path and reports which class
+// served it: ops a FakeUpdater resolved without logging count as reads,
+// matching the Stats.ReadOps accounting.
+func (i *Instance[O, R]) dispatch(h *Handle[O, R], op O) (R, obs.OpClass, error) {
 	r := i.replicas[h.node]
 	if r.ds.IsReadOnly(op) {
-		return i.readOnly(h, op)
+		resp, _, err := i.readOnlyVia(h, op, false)
+		return resp, obs.OpRead, err
 	}
-	if fu, ok := r.ds.(FakeUpdater[O, R]); ok {
+	if _, ok := r.ds.(FakeUpdater[O, R]); ok {
 		// First attempt the operation as a read (§6). Linearizable: the
 		// no-op outcome is justified by the replica state at the read
 		// point; a false return falls through to the full update, which
 		// re-executes the operation atomically. A panic inside TryReadOnly
 		// is final (done=true): retrying on the update path would replay
 		// the panic into every replica.
-		if resp, done, err := i.readOnlyVia(h, func() (R, bool) { return fu.TryReadOnly(op) }); done {
-			return resp, err
+		if resp, done, err := i.readOnlyVia(h, op, true); done {
+			return resp, obs.OpRead, err
 		}
 	}
 	i.updateOps.Add(1)
 	if i.opts.DisableCombining {
-		return i.updateUncombined(h, op)
+		resp, err := i.updateUncombined(h, op)
+		return resp, obs.OpUpdate, err
 	}
-	return i.combine(h, op)
+	resp, err := i.combine(h, op)
+	return resp, obs.OpUpdate, err
 }
 
 // PostAndAbandon publishes op to this handle's combining slot and returns
@@ -512,17 +579,21 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 // runCombiner executes one combining round. The caller holds the combiner
 // lock; under ablation #3 that lock doubles as the replica lock.
 func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
-	// Collect the batch: every posted slot on this node (§5.2).
-	type taken struct {
-		s    *slot[O, R]
-		slot int32
+	o := i.observer
+	var began time.Time
+	if o != nil {
+		o.CombineStart(int(r.id))
+		began = time.Now()
 	}
-	var batch []taken
+	// Collect the batch: every posted slot on this node (§5.2), into the
+	// replica's preallocated scratch buffer (cap = slot count, so append
+	// below never allocates).
+	batch := r.scratch[:0]
 	collect := func() {
 		for idx := range r.slots {
 			s := &r.slots[idx]
 			if s.state.Load() == slotPosted && s.state.CompareAndSwap(slotPosted, slotTaken) {
-				batch = append(batch, taken{s, int32(idx)})
+				batch = append(batch, takenSlot[O, R]{s, int32(idx)})
 			}
 		}
 	}
@@ -536,6 +607,9 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 		collect()
 	}
 	if len(batch) == 0 {
+		if o != nil {
+			o.CombineEnd(int(r.id), 0, 0, time.Since(began))
+		}
 		return
 	}
 	i.combines.Add(1)
@@ -590,6 +664,9 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	}
 	if !i.opts.CombinedReplicaLock {
 		r.rw.Unlock()
+	}
+	if o != nil {
+		o.CombineEnd(int(r.id), len(batch), len(batch), time.Since(began))
 	}
 }
 
@@ -662,8 +739,13 @@ func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLoc
 // currently inactive (§6). So a blocked appender (1) drains the log into its
 // own replica and (2) helps lagging replicas catch up to completedTail.
 func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool) uint64 {
+	o := i.observer
 	for {
-		if start, ok := i.log.TryReserve(n); ok {
+		start, casRetries, ok := i.log.TryReserveObserved(n)
+		if o != nil && casRetries > 0 {
+			o.LogTailRetry(int(r.id), casRetries)
+		}
+		if ok {
 			return start
 		}
 		// Drain into our own replica so our localTail is not the laggard.
@@ -679,27 +761,25 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 			if i.replicaTryWriteLock(r2) {
 				before := r2.localTail.Load()
 				i.refreshTo(r2, to)
-				i.helpedEntries.Add(r2.localTail.Load() - before)
+				helped := r2.localTail.Load() - before
+				i.helpedEntries.Add(helped)
 				i.replicaWriteUnlock(r2)
+				if o != nil && helped > 0 {
+					o.Help(int(r2.id), int(helped))
+				}
 			}
 		}
 		runtime.Gosched()
 	}
 }
 
-// readOnly is Algorithm 1's ReadOnly (§5.3): wait until the local replica
-// reflects completedTail as of the start of the read, then read locally.
-func (i *Instance[O, R]) readOnly(h *Handle[O, R], op O) (R, error) {
-	r := i.replicas[h.node]
-	resp, _, err := i.readOnlyVia(h, func() (R, bool) { return r.ds.Execute(op), true })
-	return resp, err
-}
-
-// readOnlyVia runs fn against a sufficiently fresh local replica under the
-// read-side lock, returning fn's result. fn must not modify the replica. A
-// panic inside fn is contained (the read lock is still released) and
-// returned as a *PanicError with done=true.
-func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, bool, error) {
+// readOnlyVia is Algorithm 1's ReadOnly (§5.3): wait until the local
+// replica reflects completedTail as of the start of the read, then run the
+// operation locally under the read-side lock. With fake set, the operation
+// is attempted through the structure's FakeUpdater.TryReadOnly instead of
+// Execute (§6), and done reports whether that resolved it. The body avoids
+// closures so the read hot path does not allocate.
+func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
 	i.readOps.Add(1)
 	r := i.replicas[h.node]
 	var readTail uint64
@@ -712,14 +792,17 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, b
 		// Ablation #3: the combiner lock protects the replica; readers
 		// serialize with the whole combining cycle.
 		r.combinerLock.Lock()
-		if r.localTail.Load() < readTail {
+		if before := r.localTail.Load(); before < readTail {
 			i.readerRefreshes.Add(1)
 			for r.localTail.Load() < readTail {
 				i.refreshTo(r, readTail)
 				runtime.Gosched()
 			}
+			if o := i.observer; o != nil {
+				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
+			}
 		}
-		resp, done, err := i.safeRead(fn)
+		resp, done, err := i.safeRead(r, op, fake)
 		r.combinerLock.Unlock()
 		return resp, done, err
 	}
@@ -736,21 +819,24 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], fn func() (R, bool)) (R, b
 			continue
 		}
 		r.rw.Lock()
-		if r.localTail.Load() < readTail {
+		if before := r.localTail.Load(); before < readTail {
 			i.readerRefreshes.Add(1)
 			i.refreshTo(r, readTail)
+			if o := i.observer; o != nil {
+				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
+			}
 		}
 		r.rw.Unlock()
 		r.refresher.Unlock()
 	}
 	r.rw.RLock(h.slot)
-	resp, done, err := i.safeRead(fn)
+	resp, done, err := i.safeRead(r, op, fake)
 	r.rw.RUnlock(h.slot)
 	return resp, done, err
 }
 
-// Stats returns a snapshot of internal counters.
-func (i *Instance[O, R]) Stats() Stats {
+// stats builds the counter slice of the Metrics snapshot.
+func (i *Instance[O, R]) stats() Stats {
 	return Stats{
 		Combines:        i.combines.Load(),
 		CombinedOps:     i.combinedOps.Load(),

@@ -85,20 +85,21 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("core: Sequential.Execute panicked at log index %d: %v", e.Index, e.Value)
 }
 
-// Health is a point-in-time report of an instance's failure state.
+// Health is a point-in-time report of an instance's failure state. It is
+// one slice of the richer Metrics snapshot (metrics.go).
 type Health struct {
 	// Poisoned is true once replica divergence has been observed (sticky).
-	Poisoned bool
+	Poisoned bool `json:"poisoned"`
 	// PoisonReason describes the first observed divergence, empty otherwise.
-	PoisonReason string
+	PoisonReason string `json:"poison_reason,omitempty"`
 	// Panics counts operations whose Execute panicked (contained).
-	Panics uint64
+	Panics uint64 `json:"panics"`
 	// Stalls counts distinct combiner-lock acquisitions the watchdog saw
 	// exceed StallThreshold (0 when the watchdog is disabled).
-	Stalls uint64
+	Stalls uint64 `json:"stalls"`
 	// StalledNodes lists nodes whose combiner lock is held past
 	// StallThreshold right now (nil when the watchdog is disabled).
-	StalledNodes []int
+	StalledNodes []int `json:"stalled_nodes,omitempty"`
 }
 
 // Healthy reports whether nothing is currently wrong: not poisoned and no
@@ -203,6 +204,9 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 			return
 		}
 		i.panics.Add(1)
+		if o := i.observer; o != nil {
+			o.PanicContained(int(r.id), idx)
+		}
 		pe := &PanicError{Value: p, Stack: string(debug.Stack()), Index: idx}
 		if idx != noIndex {
 			if reason := i.tracker.recordPanic(r.id, idx, fmt.Sprint(p), i.log.MinLocalTail()); reason != "" {
@@ -215,24 +219,35 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 	return resp, nil
 }
 
-// safeRead runs a read-path fn (local Execute or TryReadOnly) with panic
-// containment; the replica lock held by the caller is released normally on
-// the contained path. A panic reports done=true so the caller does not retry
-// the operation on the update path.
-func (i *Instance[O, R]) safeRead(fn func() (R, bool)) (resp R, done bool, err error) {
+// safeRead runs op on the read path against r's structure — through
+// FakeUpdater.TryReadOnly when fake is set, plain Execute otherwise — with
+// panic containment; the replica lock held by the caller is released
+// normally on the contained path. A panic reports done=true so the caller
+// does not retry the operation on the update path.
+func (i *Instance[O, R]) safeRead(r *replica[O, R], op O, fake bool) (resp R, done bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			i.panics.Add(1)
+			if o := i.observer; o != nil {
+				o.PanicContained(int(r.id), noIndex)
+			}
 			err = &PanicError{Value: p, Stack: string(debug.Stack()), Index: noIndex}
 			done = true
 		}
 	}()
-	resp, done = fn()
-	return resp, done, nil
+	if fake {
+		fu, ok := r.ds.(FakeUpdater[O, R])
+		if !ok {
+			return resp, false, nil
+		}
+		resp, done = fu.TryReadOnly(op)
+		return resp, done, nil
+	}
+	return r.ds.Execute(op), true, nil
 }
 
-// Health reports the instance's current failure state.
-func (i *Instance[O, R]) Health() Health {
+// health builds the failure-state slice of the Metrics snapshot.
+func (i *Instance[O, R]) health() Health {
 	h := Health{
 		Panics: i.panics.Load(),
 		Stalls: i.stalls.Load(),
@@ -286,6 +301,9 @@ func (i *Instance[O, R]) watchdog() {
 			if counted[n] != since {
 				counted[n] = since
 				i.stalls.Add(1)
+				if o := i.observer; o != nil {
+					o.Stall(n, time.Duration(now-since))
+				}
 			}
 		}
 		if !stalled {
@@ -301,8 +319,12 @@ func (i *Instance[O, R]) watchdog() {
 			if i.replicaTryWriteLock(r2) {
 				before := r2.localTail.Load()
 				i.refreshTo(r2, to)
-				i.helpedEntries.Add(r2.localTail.Load() - before)
+				helped := r2.localTail.Load() - before
+				i.helpedEntries.Add(helped)
 				i.replicaWriteUnlock(r2)
+				if o := i.observer; o != nil && helped > 0 {
+					o.Help(int(r2.id), int(helped))
+				}
 			}
 		}
 	}

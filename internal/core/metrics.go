@@ -1,0 +1,121 @@
+// Metrics: the unified observability snapshot of an NR instance.
+//
+// Stats (flat counters) and Health (failure state) predate this file; both
+// are now slices of one coherent Metrics read-out that adds the live gauges
+// the counters cannot express — log occupancy, per-replica completedTail
+// lag — plus, when the instance was built with an obs.Metrics observer, the
+// event-derived distributions (latency histograms per op class, combiner
+// batch sizes). Those are exactly the quantities the paper uses to explain
+// NR's behaviour: batch size decides whether combining wins (§5.2, Fig. 13),
+// log occupancy and replica lag decide when appenders must help (§5.6, §6),
+// and the read/update latency split is the read-path argument of §5.3.
+package core
+
+import (
+	"time"
+
+	"github.com/asplos17/nr/internal/obs"
+)
+
+// LogGauges is a live snapshot of the shared log's position counters.
+type LogGauges struct {
+	// Tail is logTail: the next unreserved absolute index.
+	Tail uint64 `json:"tail"`
+	// Completed is completedTail: no op at or after it had completed.
+	Completed uint64 `json:"completed"`
+	// MinTail is the smallest replica localTail: every entry below it has
+	// been applied everywhere and is recyclable.
+	MinTail uint64 `json:"min_tail"`
+	// Size is the log's capacity in entries.
+	Size int `json:"size"`
+	// Occupancy is (Tail-MinTail)/Size in [0,1]: how full the circular
+	// buffer is with entries some replica still needs.
+	Occupancy float64 `json:"occupancy"`
+}
+
+// ReplicaGauges is a live snapshot of one replica's position in the log.
+type ReplicaGauges struct {
+	Node int `json:"node"`
+	// LocalTail is the next log index this replica will apply.
+	LocalTail uint64 `json:"local_tail"`
+	// CompletedLag is how many completed entries the replica has not yet
+	// absorbed (completedTail - localTail, clamped at 0) — the staleness a
+	// reader on this node would have to wait out.
+	CompletedLag uint64 `json:"completed_lag"`
+	// Registered is the number of handles bound to this node.
+	Registered int `json:"registered"`
+	// CombinerHeldNs is how long the current combiner-lock holder has been
+	// inside its round (0 when the lock is free).
+	CombinerHeldNs int64 `json:"combiner_held_ns"`
+}
+
+// Metrics is the unified observability snapshot: counters, failure state,
+// live gauges, and (when an obs.Metrics observer is attached) event-derived
+// latency and batch-size distributions.
+type Metrics struct {
+	Stats    Stats           `json:"stats"`
+	Health   Health          `json:"health"`
+	Log      LogGauges       `json:"log"`
+	Replicas []ReplicaGauges `json:"replicas"`
+	// Observed carries the obs.Metrics snapshot, nil when the instance was
+	// built without one.
+	Observed *obs.Snapshot `json:"observed,omitempty"`
+}
+
+// Metrics returns the unified snapshot. Counters are read individually, so
+// the snapshot is only approximately a single instant; gauges are racy
+// reads of live positions (monotone counters, so never wildly wrong).
+func (i *Instance[O, R]) Metrics() Metrics {
+	m := Metrics{
+		Stats:  i.stats(),
+		Health: i.health(),
+	}
+	tail := i.log.Tail()
+	completed := i.log.Completed()
+	minTail := i.log.MinLocalTail()
+	size := i.log.Size()
+	occ := float64(tail-minTail) / float64(size)
+	if occ > 1 {
+		occ = 1 // racy reads can momentarily overshoot
+	}
+	m.Log = LogGauges{
+		Tail:      tail,
+		Completed: completed,
+		MinTail:   minTail,
+		Size:      size,
+		Occupancy: occ,
+	}
+	now := time.Now().UnixNano()
+	i.mu.Lock()
+	registered := make([]int, len(i.replicas))
+	for n, r := range i.replicas {
+		registered[n] = r.registered
+	}
+	i.mu.Unlock()
+	for n, r := range i.replicas {
+		local := r.localTail.Load()
+		var lag uint64
+		if completed > local {
+			lag = completed - local
+		}
+		m.Replicas = append(m.Replicas, ReplicaGauges{
+			Node:           n,
+			LocalTail:      local,
+			CompletedLag:   lag,
+			Registered:     registered[n],
+			CombinerHeldNs: int64(r.combinerLock.HeldFor(now)),
+		})
+	}
+	if mo := obs.FindMetrics(i.opts.Observer); mo != nil {
+		s := mo.Snapshot()
+		m.Observed = &s
+	}
+	return m
+}
+
+// Stats returns the counter slice of the Metrics snapshot. It remains as a
+// convenience alias for callers that only want the flat counters.
+func (i *Instance[O, R]) Stats() Stats { return i.Metrics().Stats }
+
+// Health returns the failure-state slice of the Metrics snapshot.
+func (i *Instance[O, R]) Health() Health { return i.Metrics().Health }

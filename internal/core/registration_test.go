@@ -161,13 +161,43 @@ func TestHandleUsableAfterClose(t *testing.T) {
 	if got := h.Execute(ctrRead); got != 20 {
 		t.Errorf("read after Close = %d, want 20", got)
 	}
-	// Registration still works after Close, too.
-	h2, err := inst.Register()
+}
+
+// TestRegisterAfterCloseWithDedicatedCombiners: once Close stops the
+// dedicated combiners, both registration paths must refuse new handles with
+// a sticky ErrClosed — a fresh handle could land on a node with no active
+// threads, whose replica would then never drain the log again. Instances
+// without dedicated combiners are unaffected.
+func TestRegisterAfterCloseWithDedicatedCombiners(t *testing.T) {
+	inst, err := New[ctrOp, uint64](func() Sequential[ctrOp, uint64] { return &counter{} },
+		Options{Topology: topology.New(2, 2, 1), LogEntries: 64, DedicatedCombiners: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := h2.TryExecute(ctrInc); err != nil || got != 21 {
-		t.Errorf("new handle after Close: %d, %v", got, err)
+	inst.Close()
+	for k := 0; k < 3; k++ { // sticky: every attempt fails the same way
+		if _, err := inst.Register(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Register after Close: err = %v, want ErrClosed", err)
+		}
+		if _, err := inst.RegisterOnNode(0); !errors.Is(err, ErrClosed) {
+			t.Fatalf("RegisterOnNode after Close: err = %v, want ErrClosed", err)
+		}
+	}
+
+	// Close on an instance without dedicated combiners does not gate
+	// registration: there is no background drainer to lose.
+	plain, err := New[ctrOp, uint64](func() Sequential[ctrOp, uint64] { return &counter{} },
+		Options{Topology: topology.New(2, 2, 1), LogEntries: 64, StallThreshold: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Close()
+	h, err := plain.Register()
+	if err != nil {
+		t.Fatalf("Register after Close without dedicated combiners: %v", err)
+	}
+	if got := h.Execute(ctrInc); got != 1 {
+		t.Errorf("op on post-Close handle = %d, want 1", got)
 	}
 }
 

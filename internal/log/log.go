@@ -141,6 +141,15 @@ func (l *Log[O]) Reserve(n int) uint64 {
 // logMin; the caller should consume entries (advancing its replica's
 // localTail) and retry.
 func (l *Log[O]) TryReserve(n int) (uint64, bool) {
+	start, _, ok := l.TryReserveObserved(n)
+	return start, ok
+}
+
+// TryReserveObserved is TryReserve, additionally reporting how many
+// tail-CAS attempts lost to a concurrent reserver before the outcome. The
+// tail CAS is the only cross-node contention point of the update path
+// (§5.1), so casRetries is the direct signal of inter-node append pressure.
+func (l *Log[O]) TryReserveObserved(n int) (start uint64, casRetries int, ok bool) {
 	if n < 1 || uint64(n) > l.maxBatch {
 		panic(fmt.Sprintf("log: reservation of %d outside [1, %d]", n, l.maxBatch))
 	}
@@ -150,7 +159,7 @@ func (l *Log[O]) TryReserve(n int) (uint64, bool) {
 			// Out of space: help recompute logMin, then report to caller.
 			l.refreshMin()
 			if start+uint64(n) > l.min.Load()+l.size {
-				return 0, false
+				return 0, casRetries, false
 			}
 			continue
 		}
@@ -161,8 +170,9 @@ func (l *Log[O]) TryReserve(n int) (uint64, bool) {
 			if start <= lowMark && lowMark < start+uint64(n) {
 				l.refreshMin()
 			}
-			return start, true
+			return start, casRetries, true
 		}
+		casRetries++
 	}
 }
 

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/topology"
 )
 
@@ -34,7 +37,9 @@ func NewShared(method string, topo topology.Topology, seed uint64) (Shared, erro
 	case MethodNR:
 		inst, err := core.New[StoreOp, StoreResult](
 			func() core.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
-			core.Options{Topology: topo})
+			// The metrics observer feeds INFO's latency section and the
+			// /metrics endpoint; it is cheap enough to be on by default.
+			core.Options{Topology: topo, Observer: obs.NewMetrics(topo.Nodes())})
 		if err != nil {
 			return nil, err
 		}
@@ -83,10 +88,22 @@ type Server struct {
 	connsWG      sync.WaitGroup
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	started      time.Time
+
+	// commands counts every parsed command (INFO included); connTotal
+	// counts accepted connections over the server's lifetime.
+	commands  atomic.Uint64
+	connTotal atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// MetricsSource is implemented by keyspaces that can report the NR unified
+// metrics snapshot (baseline.NRAdapter does; the lock/FC baselines do not).
+type MetricsSource interface {
+	Metrics() core.Metrics
 }
 
 // ServerOption customizes NewServer.
@@ -117,6 +134,7 @@ func NewServer(shared Shared, workers int, opts ...ServerOption) (*Server, error
 		conns:        make(map[net.Conn]struct{}),
 		readTimeout:  DefaultReadTimeout,
 		writeTimeout: DefaultWriteTimeout,
+		started:      time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -185,6 +203,7 @@ func (s *Server) Serve(addr string, ready func(net.Addr)) error {
 			conn.Close() // lost the race with Close
 			continue
 		}
+		s.connTotal.Add(1)
 		s.connsWG.Add(1)
 		go s.handle(conn)
 	}
@@ -233,6 +252,19 @@ func (s *Server) handle(conn net.Conn) {
 				_ = s.flush(conn, w)
 			}
 			return
+		}
+		s.commands.Add(1)
+		// INFO is a server-level command: it reports on the serving machinery
+		// itself, so it is answered here rather than routed through the
+		// keyspace's operation set.
+		if len(args) > 0 && strings.EqualFold(args[0], "INFO") {
+			if err := w.Bulk(s.Info()); err != nil {
+				return
+			}
+			if err := s.flush(conn, w); err != nil {
+				return
+			}
+			continue
 		}
 		op, errMsg := ParseCommand(args)
 		if errMsg != "" {

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountDistBasics(t *testing.T) {
+	var d CountDist
+	if d.Count() != 0 || d.Mean() != 0 || d.Percentile(99) != 0 {
+		t.Fatal("zero CountDist not empty")
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 8, 100} {
+		d.Record(v)
+	}
+	if d.Count() != 8 {
+		t.Errorf("Count = %d, want 8", d.Count())
+	}
+	if d.Sum() != 119 {
+		t.Errorf("Sum = %d, want 119", d.Sum())
+	}
+	if d.Max() != 100 {
+		t.Errorf("Max = %d, want 100", d.Max())
+	}
+	if got, want := d.Mean(), 119.0/8; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Power-of-two buckets report lower bounds: the p50 rank (the 4th of 8
+	// observations) lands in the 2–3 bucket.
+	if p := d.Percentile(50); p != 2 {
+		t.Errorf("P50 = %d, want 2", p)
+	}
+	// P100 must land in the bucket holding the max: 100 is in [64,128).
+	if p := d.Percentile(100); p != 64 {
+		t.Errorf("P100 = %d, want 64", p)
+	}
+}
+
+func TestCountDistPercentileWithinTwoOfExact(t *testing.T) {
+	// Bucket lower bounds underestimate by at most 2x for any value.
+	var d CountDist
+	for v := uint64(1); v <= 1000; v++ {
+		d.Record(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		exact := uint64(p / 100 * 1000)
+		got := d.Percentile(p)
+		if got > exact || got*2 < exact/2 {
+			t.Errorf("P%v = %d, exact %d: outside [exact/4, exact]", p, got, exact)
+		}
+	}
+}
+
+func TestCountDistMerge(t *testing.T) {
+	var a, b CountDist
+	a.Record(1)
+	a.Record(5)
+	b.Record(9)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 15 || a.Max() != 9 {
+		t.Errorf("after merge: count=%d sum=%d max=%d, want 3/15/9", a.Count(), a.Sum(), a.Max())
+	}
+}
+
+func TestCountDistConcurrentRecord(t *testing.T) {
+	var d CountDist
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Record(uint64(i % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", d.Count(), goroutines*per)
+	}
+	if d.Max() != 63 {
+		t.Errorf("Max = %d, want 63", d.Max())
+	}
+}
+
+func TestMetricsSnapshotAggregatesAcrossNodes(t *testing.T) {
+	m := NewMetrics(2)
+	m.OpDone(0, OpRead, 100*time.Nanosecond)
+	m.OpDone(1, OpRead, 200*time.Nanosecond)
+	m.OpDone(0, OpUpdate, time.Microsecond)
+	m.CombineEnd(0, 3, 3, time.Microsecond)
+	m.CombineEnd(1, 5, 5, time.Microsecond)
+	m.ReaderRefresh(1, 7)
+	m.Help(0, 4)
+	m.LogTailRetry(0, 2)
+	m.WriterWait(1, 9)
+	m.Stall(0, time.Millisecond)
+	m.PanicContained(1, 42)
+
+	s := m.Snapshot()
+	if s.Read.Count != 2 {
+		t.Errorf("merged read count = %d, want 2", s.Read.Count)
+	}
+	if s.Update.Count != 1 {
+		t.Errorf("merged update count = %d, want 1", s.Update.Count)
+	}
+	if s.Batch.Count != 2 || s.Batch.Max != 5 {
+		t.Errorf("merged batch dist = %+v, want count 2 max 5", s.Batch)
+	}
+	if len(s.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(s.Nodes))
+	}
+	n0, n1 := s.Nodes[0], s.Nodes[1]
+	if n0.CombineRounds != 1 || n1.CombineRounds != 1 {
+		t.Errorf("combine rounds = %d/%d, want 1/1", n0.CombineRounds, n1.CombineRounds)
+	}
+	if n1.ReaderRefreshes != 1 || n1.RefreshedEntries != 7 {
+		t.Errorf("node1 refresh = %d/%d, want 1/7", n1.ReaderRefreshes, n1.RefreshedEntries)
+	}
+	if n0.Helps != 1 || n0.HelpedEntries != 4 {
+		t.Errorf("node0 helps = %d/%d, want 1/4", n0.Helps, n0.HelpedEntries)
+	}
+	if n0.TailRetryEvents != 1 || n0.TailRetries != 2 {
+		t.Errorf("node0 tail retries = %d/%d, want 1/2", n0.TailRetryEvents, n0.TailRetries)
+	}
+	if n1.WriterWaits != 1 || n1.WriterWaitSpins != 9 {
+		t.Errorf("node1 writer waits = %d/%d, want 1/9", n1.WriterWaits, n1.WriterWaitSpins)
+	}
+	if n0.Stalls != 1 || n1.Panics != 1 {
+		t.Errorf("stalls/panics = %d/%d, want 1/1", n0.Stalls, n1.Panics)
+	}
+}
+
+func TestMetricsOutOfRangeNodeClampsToZero(t *testing.T) {
+	m := NewMetrics(2)
+	m.OpDone(-1, OpRead, time.Nanosecond)
+	m.OpDone(99, OpUpdate, time.Nanosecond)
+	s := m.Snapshot()
+	if s.Nodes[0].Read.Count != 1 || s.Nodes[0].Update.Count != 1 {
+		t.Errorf("clamped events not on node 0: %+v", s.Nodes[0])
+	}
+}
+
+// recorder counts events per hook for composition tests.
+type recorder struct {
+	Nop
+	combines, ops int
+}
+
+func (r *recorder) CombineStart(int)                   { r.combines++ }
+func (r *recorder) OpDone(int, OpClass, time.Duration) { r.ops++ }
+
+func TestCombineAndFindMetrics(t *testing.T) {
+	if Combine() != nil {
+		t.Error("Combine() != nil")
+	}
+	if Combine(nil, nil) != nil {
+		t.Error("Combine(nil, nil) != nil")
+	}
+	r := &recorder{}
+	if got := Combine(nil, r); got != Observer(r) {
+		t.Error("Combine with one live observer should return it unwrapped")
+	}
+	m := NewMetrics(1)
+	o := Combine(r, m)
+	if _, isMulti := o.(Multi); !isMulti {
+		t.Fatalf("Combine(two) = %T, want Multi", o)
+	}
+	// Fan-out reaches both.
+	o.CombineStart(0)
+	o.OpDone(0, OpRead, time.Nanosecond)
+	if r.combines != 1 || r.ops != 1 {
+		t.Errorf("recorder missed events: %+v", r)
+	}
+	if s := m.Snapshot(); s.Read.Count != 1 {
+		t.Errorf("metrics missed OpDone: read count = %d", s.Read.Count)
+	}
+	// FindMetrics unwraps any composition shape.
+	if FindMetrics(o) != m {
+		t.Error("FindMetrics(Multi) failed")
+	}
+	if FindMetrics(m) != m {
+		t.Error("FindMetrics(direct) failed")
+	}
+	if FindMetrics(r) != nil {
+		t.Error("FindMetrics(non-metrics) != nil")
+	}
+	if FindMetrics(nil) != nil {
+		t.Error("FindMetrics(nil) != nil")
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	if OpRead.String() != "read" || OpUpdate.String() != "update" || NumOpClasses.String() != "unknown" {
+		t.Error("OpClass.String mismatch")
+	}
+}

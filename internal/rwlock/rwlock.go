@@ -31,6 +31,12 @@ type Lock interface {
 	TryLock() bool
 	// Unlock releases write mode.
 	Unlock()
+	// SetWriterWaitHook installs fn to be called whenever a write-mode
+	// acquisition had to spin waiting for readers to drain, with the number
+	// of scheduler yields it spent. Must be called before the lock is
+	// shared; a nil fn (the default) disables the hook. Implementations
+	// without reader-wait visibility may ignore it.
+	SetWriterWaitHook(fn func(spins int))
 }
 
 // padded is one per-reader flag on its own cache line.
@@ -51,6 +57,9 @@ type Distributed struct {
 	writer  atomic.Int32
 	_       [60]byte
 	readers []padded
+	// onWriterWait, when set, observes write acquisitions that spun on
+	// reader flags (NR's observability layer). Written before sharing.
+	onWriterWait func(spins int)
 }
 
 // NewDistributed returns a lock supporting reader slots 0..slots-1.
@@ -86,16 +95,30 @@ func (l *Distributed) RUnlock(slot int) {
 	l.readers[slot].v.Store(0)
 }
 
+// SetWriterWaitHook installs the writer-wait observer hook.
+func (l *Distributed) SetWriterWaitHook(fn func(spins int)) { l.onWriterWait = fn }
+
+// waitReaders waits for every reader flag to drain, reporting spins to the
+// writer-wait hook. Caller holds the writer flag.
+func (l *Distributed) waitReaders() {
+	spins := 0
+	for i := range l.readers {
+		for l.readers[i].v.Load() != 0 {
+			spins++
+			runtime.Gosched()
+		}
+	}
+	if spins > 0 && l.onWriterWait != nil {
+		l.onWriterWait(spins)
+	}
+}
+
 // Lock acquires write mode. Concurrent writers serialize on the writer flag.
 func (l *Distributed) Lock() {
 	for !l.writer.CompareAndSwap(0, 1) {
 		runtime.Gosched()
 	}
-	for i := range l.readers {
-		for l.readers[i].v.Load() != 0 {
-			runtime.Gosched()
-		}
-	}
+	l.waitReaders()
 }
 
 // Unlock releases write mode.
@@ -109,11 +132,7 @@ func (l *Distributed) TryLock() bool {
 	if !l.writer.CompareAndSwap(0, 1) {
 		return false
 	}
-	for i := range l.readers {
-		for l.readers[i].v.Load() != 0 {
-			runtime.Gosched()
-		}
-	}
+	l.waitReaders()
 	return true
 }
 
@@ -141,6 +160,10 @@ func (l *Centralized) TryLock() bool { return l.mu.TryLock() }
 
 // Unlock releases write mode.
 func (l *Centralized) Unlock() { l.mu.Unlock() }
+
+// SetWriterWaitHook is a no-op: sync.RWMutex gives no reader-wait
+// visibility.
+func (l *Centralized) SetWriterWaitHook(func(spins int)) {}
 
 // SpinMutex is a test-and-test-and-set spinlock: the "one big lock" (SL)
 // baseline of Fig. 4 and the combiner lock inside NR.

@@ -10,15 +10,22 @@
 // updates through a NUMA-aware shared log with per-node flat combining and
 // serving reads from the local replica:
 //
-//	inst, err := nr.New(func() nr.Sequential[Op, Resp] { return newThing() }, nr.Config{})
+//	inst, err := nr.New(func() nr.Sequential[Op, Resp] { return newThing() })
 //	h, err := inst.Register()      // bind this goroutine to a node
 //	resp := h.Execute(op)          // linearizable, concurrent
 //
-// The zero Config simulates the paper's testbed: 4 NUMA nodes × 14 cores ×
-// 2 hyperthreads. Go cannot pin OS threads to NUMA nodes, so the topology
-// is a software construct: it decides which replica, combining slot, and
-// reader lock each registered goroutine uses, exactly as hardware placement
-// does in the paper's C++ implementation.
+// New takes functional options. With none it simulates the paper's testbed:
+// 4 NUMA nodes × 14 cores × 2 hyperthreads. Go cannot pin OS threads to
+// NUMA nodes, so the topology is a software construct: it decides which
+// replica, combining slot, and reader lock each registered goroutine uses,
+// exactly as hardware placement does in the paper's C++ implementation.
+//
+//	inst, err := nr.New(create,
+//	    nr.WithNodes(2, 4, 1),        // 2 nodes × 4 cores, no SMT
+//	    nr.WithLogEntries(1<<20),     // the paper's 1M-entry log
+//	    nr.WithMetrics(),             // built-in latency/batch metrics
+//	)
+//	m := inst.Metrics()               // unified observability snapshot
 package nr
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/topology"
 )
 
@@ -37,8 +45,12 @@ type Sequential[O, R any] interface {
 	IsReadOnly(op O) bool
 }
 
-// Config tunes an instance. The zero value is the paper's Intel testbed
-// with a 64K-entry log.
+// Config tunes an instance as a flat struct. The zero value is the paper's
+// Intel testbed with a 64K-entry log.
+//
+// Config predates the functional options and remains fully supported via
+// WithConfig; options cover everything Config does and more (observers,
+// metrics), so new code should prefer them.
 type Config struct {
 	// Nodes, CoresPerNode, SMT describe the software NUMA topology.
 	// All three default as a group to 4×14×2 when Nodes is zero.
@@ -63,11 +75,116 @@ type Config struct {
 	StallThreshold time.Duration
 }
 
-// Stats mirrors core.Stats: counters describing internal behaviour.
+// Option configures New. Options are applied in order; later options win.
+type Option func(*settings)
+
+// settings accumulates option state before it is lowered to core.Options.
+type settings struct {
+	cfg       Config
+	observers []obs.Observer
+	metrics   bool
+}
+
+// WithConfig applies an entire Config struct, exactly as the pre-options
+// New(create, cfg) did. It composes with the other options: placed first it
+// acts as a base that later options override.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// WithNodes sets the software NUMA topology: nodes × coresPerNode × smt
+// hardware threads. Zero coresPerNode or smt default to 1.
+func WithNodes(nodes, coresPerNode, smt int) Option {
+	return func(s *settings) {
+		s.cfg.Nodes = nodes
+		s.cfg.CoresPerNode = coresPerNode
+		s.cfg.SMT = smt
+	}
+}
+
+// WithLogEntries sizes the shared circular log (default 64K entries).
+func WithLogEntries(n int) Option {
+	return func(s *settings) { s.cfg.LogEntries = n }
+}
+
+// WithMinBatch makes combiners wait for at least n posted operations
+// before appending a batch, refreshing the replica meanwhile (§5.2).
+func WithMinBatch(n int) Option {
+	return func(s *settings) { s.cfg.MinBatch = n }
+}
+
+// WithDedicatedCombiners starts one background goroutine per node that
+// keeps that node's replica fresh even when its threads are idle (§4, §6).
+// Instances built with it must be Closed; after Close, Register returns a
+// sticky ErrClosed (a fresh handle's node might never drain again).
+func WithDedicatedCombiners() Option {
+	return func(s *settings) { s.cfg.DedicatedCombiners = true }
+}
+
+// WithStallThreshold starts a watchdog that flags combiners holding their
+// lock longer than d (§6's stalled-thread hazard), surfacing them via
+// Metrics/Health while the helping path keeps the log draining. Instances
+// built with it must be Closed.
+func WithStallThreshold(d time.Duration) Option {
+	return func(s *settings) { s.cfg.StallThreshold = d }
+}
+
+// WithObserver attaches an event observer to the instance: it receives
+// combine-round, reader-refresh, helping, log-contention, stall, panic, and
+// per-operation-latency events from inside the protocol. The observer must
+// be concurrency-safe and non-blocking; events carry only scalars, so a
+// hook never allocates. Repeated WithObserver (and WithMetrics) compose:
+// every observer receives every event.
+func WithObserver(o Observer) Option {
+	return func(s *settings) {
+		if o != nil {
+			s.observers = append(s.observers, o)
+		}
+	}
+}
+
+// WithMetrics attaches the built-in metrics observer: per-node latency
+// histograms split by operation class, combiner batch-size distributions,
+// and counters for every protocol event, all folded into the snapshot
+// Instance.Metrics returns (its Observed field is non-nil exactly when the
+// instance was built with WithMetrics).
+func WithMetrics() Option {
+	return func(s *settings) { s.metrics = true }
+}
+
+// Stats mirrors core.Stats: counters describing internal behaviour. It is
+// the Stats slice of the Metrics snapshot.
 type Stats = core.Stats
 
-// Health mirrors core.Health: a point-in-time failure-state report.
+// Health mirrors core.Health: a point-in-time failure-state report. It is
+// the Health slice of the Metrics snapshot.
 type Health = core.Health
+
+// Metrics is the unified observability snapshot: Stats counters, Health
+// failure state, live log/replica gauges, and — with WithMetrics — the
+// event-derived latency histograms and batch-size distributions.
+type Metrics = core.Metrics
+
+// Observer receives protocol events; see WithObserver. Embed NopObserver
+// to implement only the events you care about.
+type Observer = obs.Observer
+
+// NopObserver ignores every event; embed it in partial observers.
+type NopObserver = obs.Nop
+
+// OpClass classifies a completed operation (read vs update) in OpDone
+// events and latency metrics.
+type OpClass = obs.OpClass
+
+// Operation classes reported to Observer.OpDone.
+const (
+	OpRead   = obs.OpRead
+	OpUpdate = obs.OpUpdate
+)
+
+// ObservedMetrics is the event-derived part of a Metrics snapshot
+// (Metrics.Observed), present when the instance was built WithMetrics.
+type ObservedMetrics = obs.Snapshot
 
 // PanicError is the error TryExecute returns when the operation's
 // Sequential.Execute panicked; Execute re-raises it as a panic on the
@@ -84,6 +201,11 @@ var ErrPoisoned = core.ErrPoisoned
 // thread died mid-protocol); the affected handle is retired.
 var ErrResponseLost = core.ErrResponseLost
 
+// ErrClosed is reported (via errors.Is) by Register and RegisterOnNode
+// after Close on an instance built with dedicated combiners; see
+// WithDedicatedCombiners.
+var ErrClosed = core.ErrClosed
+
 // Instance is a replicated, linearizable version of a sequential structure.
 type Instance[O, R any] struct {
 	inner *core.Instance[O, R]
@@ -96,17 +218,24 @@ type Handle[O, R any] struct {
 }
 
 // New builds an instance. create is invoked once per NUMA node and must
-// produce identical replicas (same seeds, same initial contents).
-func New[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R], error) {
+// produce identical replicas (same seeds, same initial contents). With no
+// options it simulates the paper's testbed (4×14×2, 64K-entry log).
+func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance[O, R], error) {
 	if create == nil {
 		return nil, errors.New("nr: create function is nil")
 	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	cfg := s.cfg
 	opts := core.Options{
 		LogEntries:         cfg.LogEntries,
 		MinBatch:           cfg.MinBatch,
 		DedicatedCombiners: cfg.DedicatedCombiners,
 		StallThreshold:     cfg.StallThreshold,
 	}
+	nodes := 4 // the default Intel testbed
 	if cfg.Nodes != 0 {
 		smt := cfg.SMT
 		if smt == 0 {
@@ -117,7 +246,12 @@ func New[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R],
 			cores = 1
 		}
 		opts.Topology = topology.New(cfg.Nodes, cores, smt)
+		nodes = cfg.Nodes
 	}
+	if s.metrics {
+		s.observers = append(s.observers, obs.NewMetrics(nodes))
+	}
+	opts.Observer = obs.Combine(s.observers...)
 	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, opts)
 	if err != nil {
 		return nil, err
@@ -125,9 +259,18 @@ func New[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R],
 	return &Instance[O, R]{inner: inner}, nil
 }
 
+// NewWithConfig builds an instance from a flat Config.
+//
+// Deprecated: use New(create, WithConfig(cfg)) — or better, the individual
+// options — which additionally carry observers and metrics.
+func NewWithConfig[O, R any](create func() Sequential[O, R], cfg Config) (*Instance[O, R], error) {
+	return New(create, WithConfig(cfg))
+}
+
 // Register binds the calling goroutine to the next hardware-thread position
 // (filling one node before spilling to the next, the paper's placement).
-// It fails once every simulated hardware thread is taken.
+// It fails once every simulated hardware thread is taken, and with
+// ErrClosed after Close on a dedicated-combiners instance.
 func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 	h, err := i.inner.Register()
 	if err != nil {
@@ -148,12 +291,20 @@ func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
 // Replicas returns the number of per-node replicas.
 func (i *Instance[O, R]) Replicas() int { return i.inner.Replicas() }
 
+// Metrics returns the unified observability snapshot: Stats counters,
+// Health failure state, live gauges for log occupancy and per-replica
+// completedTail lag, and — when built WithMetrics — latency histograms per
+// operation class and combiner batch-size distributions (Observed field).
+func (i *Instance[O, R]) Metrics() Metrics { return i.inner.Metrics() }
+
 // Stats returns internal counters (combining rounds, reads, helps, ...).
+// It is the Stats slice of Metrics.
 func (i *Instance[O, R]) Stats() Stats { return i.inner.Stats() }
 
 // Health reports the instance's failure state: contained panics, currently
-// stalled combiners (when StallThreshold is set), and whether the instance
-// has been poisoned by a non-deterministic Execute panic.
+// stalled combiners (when a stall threshold is set), and whether the
+// instance has been poisoned by a non-deterministic Execute panic. It is
+// the Health slice of Metrics.
 func (i *Instance[O, R]) Health() Health { return i.inner.Health() }
 
 // MemoryBytes reports the shared log's footprint plus, for replicas whose
@@ -165,8 +316,10 @@ func (i *Instance[O, R]) MemoryBytes() uint64 { return i.inner.MemoryBytes() }
 // useful before inspecting replicas, never required for correctness.
 func (i *Instance[O, R]) Quiesce() { i.inner.Quiesce() }
 
-// Close stops the dedicated combiners, if configured. The instance remains
-// usable afterwards; Close is idempotent and a no-op otherwise.
+// Close stops the dedicated combiners, if configured. Existing handles
+// remain usable afterwards; on a dedicated-combiners instance new
+// registration is refused with ErrClosed. Close is idempotent and a no-op
+// otherwise.
 func (i *Instance[O, R]) Close() { i.inner.Close() }
 
 // FakeUpdater is the optional fast path of §6: structures whose update

@@ -28,7 +28,7 @@ func (p *panickyMap) Execute(op mapOp) mapResp {
 // public facade: TryExecute reports the contained panic, the instance keeps
 // serving, and Health/Stats record it.
 func TestPublicTryExecuteContainsPanics(t *testing.T) {
-	inst, err := nr.New(newPanickyMap, nr.Config{Nodes: 2, CoresPerNode: 2})
+	inst, err := nr.New(newPanickyMap, nr.WithNodes(2, 2, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestPublicWatchdog(t *testing.T) {
 	slow := func() nr.Sequential[mapOp, mapResp] {
 		return &slowMap{seqMap{m: make(map[string]int)}}
 	}
-	inst, err := nr.New(slow, nr.Config{Nodes: 2, CoresPerNode: 2, StallThreshold: time.Millisecond})
+	inst, err := nr.New(slow, nr.WithNodes(2, 2, 1), nr.WithStallThreshold(time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func (s *slowMap) Execute(op mapOp) mapResp {
 // TestPublicExecutePanicPropagates keeps the classic API honest: Execute
 // re-raises the user panic on the caller's goroutine.
 func TestPublicExecutePanicPropagates(t *testing.T) {
-	inst, err := nr.New(newPanickyMap, nr.Config{Nodes: 2, CoresPerNode: 2})
+	inst, err := nr.New(newPanickyMap, nr.WithNodes(2, 2, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

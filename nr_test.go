@@ -38,7 +38,7 @@ func (s *seqMap) Execute(op mapOp) mapResp {
 func (s *seqMap) IsReadOnly(op mapOp) bool { return op.get }
 
 func TestPublicAPIQuickstart(t *testing.T) {
-	inst, err := nr.New(newSeqMap, nr.Config{})
+	inst, err := nr.New(newSeqMap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 }
 
 func TestPublicAPICustomTopology(t *testing.T) {
-	inst, err := nr.New(newSeqMap, nr.Config{Nodes: 2, CoresPerNode: 3, LogEntries: 128})
+	inst, err := nr.New(newSeqMap, nr.WithNodes(2, 3, 1), nr.WithLogEntries(128))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestPublicAPICustomTopology(t *testing.T) {
 }
 
 func TestPublicAPIConcurrentAndInspect(t *testing.T) {
-	inst, err := nr.New(newSeqMap, nr.Config{Nodes: 2, CoresPerNode: 2, LogEntries: 256})
+	inst, err := nr.New(newSeqMap, nr.WithNodes(2, 2, 1), nr.WithLogEntries(256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +134,10 @@ func TestPublicAPIConcurrentAndInspect(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	if _, err := nr.New[int, int](nil, nr.Config{}); err == nil {
+	if _, err := nr.New[int, int](nil); err == nil {
 		t.Error("nil create accepted")
 	}
-	if _, err := nr.New(newSeqMap, nr.Config{LogEntries: 1}); err == nil {
+	if _, err := nr.New(newSeqMap, nr.WithLogEntries(1)); err == nil {
 		t.Error("log of 1 entry accepted")
 	}
 }
