@@ -1,15 +1,24 @@
-# Test tiers. tier1 is the gate every change must pass; tier2 adds the race
-# detector; chaos replays the seeded fault-injection schedules
+# Test tiers. tier1 is the gate every change must pass; tier1-race runs the
+# protocol-critical packages under the race detector; tier2 adds the race
+# detector everywhere; chaos replays the seeded fault-injection schedules
 # (internal/chaos, seeds 1 / 42 / 0xc0ffee / 0xdeadbeef) under -race.
 
 GO ?= go
 
-.PHONY: tier1 tier2 chaos test build vet race bench
+# The packages where a data race is a protocol bug, not just a test bug.
+RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs
+
+.PHONY: tier1 tier1-race tier2 chaos check test build vet race bench
 
 tier1: ## build + vet + unit tests (the acceptance gate)
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+tier1-race: ## race detector on the protocol-critical packages
+	$(GO) test -race $(RACE_PKGS)
+
+check: tier1 tier1-race ## the default pre-commit gate: tier1 + race tier
 
 tier2: ## vet + full race-detector run
 	$(GO) vet ./...
@@ -18,8 +27,8 @@ tier2: ## vet + full race-detector run
 chaos: ## fault-injection suite under the race detector, fixed seeds
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-bench: ## real-implementation benchmark, machine-readable output
-	$(GO) run ./cmd/nrbench -real -threads 8 -json BENCH_PR2.json
+bench: ## real-implementation benchmark with the flight-recorder overhead block
+	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -json BENCH_PR3.json
 
 build:
 	$(GO) build ./...

@@ -35,20 +35,26 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		ops      = flag.Int("ops", 0, "operations per simulated thread (default 1500)")
 		real     = flag.Bool("real", false, "benchmark the real implementation (not the simulator)")
-		jsonPath = flag.String("json", "", "with -real: write results as JSON to this path")
+		tracecmp = flag.Bool("tracecmp", false, "benchmark the real implementation twice (flight recorder off/on) and report the overhead")
+		jsonPath = flag.String("json", "", "with -real/-tracecmp: write results as JSON to this path")
 		duration = flag.Duration("dur", 2*time.Second, "with -real: measurement duration")
 		threads  = flag.Int("threads", 0, "with -real: worker goroutines (default GOMAXPROCS)")
 		readPct  = flag.Int("readpct", 90, "with -real: percentage of read operations")
 	)
 	flag.Parse()
 
-	if *real {
-		if err := runReal(realConfig{
+	if *real || *tracecmp {
+		cfg := realConfig{
 			Duration: *duration,
 			Threads:  *threads,
 			ReadPct:  *readPct,
 			JSONPath: *jsonPath,
-		}); err != nil {
+		}
+		run := runReal
+		if *tracecmp {
+			run = runTraceCompare
+		}
+		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -80,7 +80,11 @@ func (x *xorshift) next() uint64 {
 	return uint64(v)
 }
 
-func runReal(cfg realConfig) error {
+// measureReal runs one measurement of the mixed workload and returns the
+// BENCH_PR2-schema result. With rec non-nil, the instance is built with the
+// flight recorder attached — the recorder-on arm of the overhead
+// comparison.
+func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 	if cfg.Threads <= 0 {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -94,13 +98,19 @@ func runReal(cfg realConfig) error {
 		nodes = cfg.Threads
 	}
 	perNode := (cfg.Threads + nodes - 1) / nodes
-	inst, err := nr.New(
-		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
+	opts := []nr.Option{
 		nr.WithNodes(nodes, perNode, 1),
 		nr.WithMetrics(),
+	}
+	if rec != nil {
+		opts = append(opts, nr.WithFlightRecorderInstance(rec))
+	}
+	inst, err := nr.New(
+		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
+		opts...,
 	)
 	if err != nil {
-		return err
+		return realResult{}, err
 	}
 
 	const keyspace = 1 << 16
@@ -111,7 +121,7 @@ func runReal(cfg realConfig) error {
 	for t := 0; t < cfg.Threads; t++ {
 		h, err := inst.Register()
 		if err != nil {
-			return err
+			return realResult{}, err
 		}
 		wg.Add(1)
 		go func(h *nr.Handle[benchOp, uint64], seed uint64) {
@@ -137,7 +147,7 @@ func runReal(cfg realConfig) error {
 
 	m := inst.Metrics()
 	if m.Observed == nil {
-		return fmt.Errorf("metrics observer missing from instance built WithMetrics")
+		return realResult{}, fmt.Errorf("metrics observer missing from instance built WithMetrics")
 	}
 	o := m.Observed
 	res := realResult{
@@ -160,8 +170,11 @@ func runReal(cfg realConfig) error {
 		Combines:    m.Stats.Combines,
 		CombinedOps: m.Stats.CombinedOps,
 	}
+	return res, nil
+}
 
-	fmt.Printf("=== real NR benchmark ===\n")
+// printReal renders one measurement's summary to stdout.
+func printReal(res realResult) {
 	fmt.Printf("threads=%d  read%%=%d  duration=%.1fs\n", res.Threads, res.ReadPct, res.DurationSecs)
 	fmt.Printf("throughput: %.2f Mops/s (%d ops)\n", res.ThroughputOpsS/1e6, res.TotalOps)
 	fmt.Printf("read   p50=%s p99=%s (n=%d)\n",
@@ -170,17 +183,106 @@ func runReal(cfg realConfig) error {
 		time.Duration(res.Update.P50Ns), time.Duration(res.Update.P99Ns), res.Update.Count)
 	fmt.Printf("combiner batches: mean=%.1f p99=%d over %d rounds\n",
 		res.BatchMean, res.BatchP99, res.Combines)
+}
 
+// writeJSON writes v, indented, to path.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func runReal(cfg realConfig) error {
+	res, err := measureReal(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== real NR benchmark ===\n")
+	printReal(res)
 	if cfg.JSONPath != "" {
-		buf, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", cfg.JSONPath)
+		return writeJSON(cfg.JSONPath, res)
+	}
+	return nil
+}
+
+// traceBudgetPct is the stated flight-recorder overhead budget: the
+// recorder-on run must keep at least (100 - traceBudgetPct)% of the
+// recorder-off throughput. DESIGN.md "Tracing & flight recorder" derives
+// the number; the -tracecmp benchmark checks it.
+const traceBudgetPct = 25.0
+
+// flightRecorderReport is BENCH_PR3.json's addition over the BENCH_PR2
+// schema: the measured recorder-on vs recorder-off delta.
+type flightRecorderReport struct {
+	ThroughputOnOpsS  float64 `json:"throughput_on_ops_per_sec"`
+	ThroughputOffOpsS float64 `json:"throughput_off_ops_per_sec"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	BudgetPct         float64 `json:"budget_pct"`
+	WithinBudget      bool    `json:"within_budget"`
+	RingSlots         int     `json:"ring_slots"`
+	EventsInSnapshot  int     `json:"events_in_snapshot"`
+}
+
+// tracedResult is the BENCH_PR3.json schema: BENCH_PR2's fields (from the
+// recorder-off run, so the series stays comparable across PRs) plus the
+// flight-recorder overhead block.
+type tracedResult struct {
+	realResult
+	FlightRecorder flightRecorderReport `json:"flight_recorder"`
+}
+
+// runTraceCompare measures the same workload twice — recorder off, then
+// recorder on — and reports the throughput delta against the stated budget.
+func runTraceCompare(cfg realConfig) error {
+	jsonPath := cfg.JSONPath
+	cfg.JSONPath = ""
+
+	fmt.Printf("=== real NR benchmark (flight recorder off) ===\n")
+	off, err := measureReal(cfg, nil)
+	if err != nil {
+		return err
+	}
+	printReal(off)
+
+	rec := nr.NewFlightRecorder(nr.TraceConfig{RingSlots: 4096})
+	fmt.Printf("=== real NR benchmark (flight recorder on) ===\n")
+	on, err := measureReal(cfg, rec)
+	if err != nil {
+		return err
+	}
+	printReal(on)
+
+	overhead := 0.0
+	if off.ThroughputOpsS > 0 {
+		overhead = (off.ThroughputOpsS - on.ThroughputOpsS) / off.ThroughputOpsS * 100
+	}
+	res := tracedResult{
+		realResult: off,
+		FlightRecorder: flightRecorderReport{
+			ThroughputOnOpsS:  on.ThroughputOpsS,
+			ThroughputOffOpsS: off.ThroughputOpsS,
+			OverheadPct:       overhead,
+			BudgetPct:         traceBudgetPct,
+			WithinBudget:      overhead <= traceBudgetPct,
+			RingSlots:         rec.Config().RingSlots,
+			EventsInSnapshot:  len(rec.Snapshot().Events()),
+		},
+	}
+	fmt.Printf("=== flight recorder overhead ===\n")
+	fmt.Printf("off: %.2f Mops/s   on: %.2f Mops/s   overhead: %.1f%% (budget %.0f%%)\n",
+		off.ThroughputOpsS/1e6, on.ThroughputOpsS/1e6, overhead, traceBudgetPct)
+	if !res.FlightRecorder.WithinBudget {
+		fmt.Printf("WARNING: overhead exceeds budget\n")
+	}
+	if jsonPath != "" {
+		return writeJSON(jsonPath, res)
 	}
 	return nil
 }

@@ -11,9 +11,15 @@
 //
 // With -metrics ADDR an HTTP sidecar serves the same observability data:
 //
-//	/metrics     — the full JSON snapshot (server counters + NR metrics)
-//	/health      — 200 while healthy, 503 once the keyspace is poisoned
-//	/debug/vars  — expvar, with the snapshot published under "nrredis"
+//	/metrics      — the full JSON snapshot (server counters + NR metrics)
+//	/health       — 200 while healthy, 503 once the keyspace is poisoned
+//	/debug/vars   — expvar, with the snapshot published under "nrredis"
+//	/debug/trace  — flight-recorder export: Chrome trace JSON for Perfetto,
+//	                or ?format=text for the top-K slowest-ops report
+//
+// The flight recorder (-trace, on by default for -method nr) also powers
+// the SLOWLOG GET/RESET/LEN command, whose entries are reconstructed
+// per-operation spans rather than redis's command log.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"github.com/asplos17/nr/internal/miniredis"
 	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
 )
 
 func main() {
@@ -40,6 +47,11 @@ func main() {
 		cores   = flag.Int("cores", 14, "cores per node")
 		smt     = flag.Int("smt", 2, "hardware threads per core")
 		seed    = flag.Uint64("seed", 1, "replica determinism seed")
+
+		traceOn    = flag.Bool("trace", true, "attach the flight recorder (nr method only): SLOWLOG + /debug/trace")
+		traceSlots = flag.Int("trace-slots", 4096, "flight-recorder ring slots per thread (rounded to a power of two)")
+		traceDump  = flag.String("trace-dump-dir", "", "directory for automatic black-box dumps on stall/panic/poison; empty disables")
+		traceProf  = flag.Int("trace-pprof-rate", 0, "label every Nth op with pprof labels (nr_node, nr_op); 0 disables")
 	)
 	flag.Parse()
 
@@ -47,11 +59,19 @@ func main() {
 	if *workers > topo.TotalThreads() {
 		log.Fatalf("nrredis: %d workers exceed topology capacity %d", *workers, topo.TotalThreads())
 	}
-	shared, err := miniredis.NewShared(*method, topo, *seed)
+	var rec *trace.Recorder
+	if *traceOn && *method == miniredis.MethodNR {
+		rec = trace.New(trace.Config{
+			RingSlots:         *traceSlots,
+			DumpDir:           *traceDump,
+			ProfileSampleRate: *traceProf,
+		})
+	}
+	shared, err := miniredis.NewSharedTraced(*method, topo, *seed, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := miniredis.NewServer(shared, *workers)
+	srv, err := miniredis.NewServer(shared, *workers, miniredis.WithRecorder(rec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +81,11 @@ func main() {
 		mux.Handle("/metrics", srv.MetricsHandler())
 		mux.Handle("/health", srv.HealthHandler())
 		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/debug/trace", srv.TraceHandler())
+		// The expvar snapshot deliberately excludes the flight recorder:
+		// its rings are thousands of events per thread, far too large for a
+		// dump that monitoring systems poll; trace data is served only by
+		// /debug/trace on demand.
 		expvar.Publish("nrredis", expvar.Func(func() any {
 			stats := srv.ServerStats()
 			if m, ok := srv.Metrics(); ok {

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -202,4 +203,67 @@ func (d *valuePanicDS) Execute(op Op) Result {
 		panic(d.id) // different value on every replica
 	}
 	return d.DS.Execute(op)
+}
+
+// TestTraceDumpsOnPanic runs a traced schedule with injected panics and
+// requires the flight recorder's black box to have fired: at least one
+// automatic dump with a panic reason, and a live recorder at the end.
+func TestTraceDumpsOnPanic(t *testing.T) {
+	s := Schedule{
+		Seed:  42,
+		Nodes: 2, CoresPerNode: 4,
+		OpsPerThread: 200,
+		PanicEveryN:  7,
+		Trace:        true,
+	}
+	rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Check() {
+		t.Errorf("invariant violated: %v", v)
+	}
+	var panics int
+	for _, reason := range rep.TraceDumps {
+		if strings.Contains(reason, "panic") {
+			panics++
+		}
+	}
+	if panics == 0 {
+		t.Errorf("no panic-reason trace dumps in %v", rep.TraceDumps)
+	}
+	if rep.TraceEvents == 0 {
+		t.Error("final recorder snapshot was empty")
+	}
+}
+
+// TestTraceDumpsOnStall runs a traced schedule with injected stalls and a
+// watchdog; the black box must dump with a stall reason. Generous StallFor
+// against a small threshold keeps this deterministic on slow machines.
+func TestTraceDumpsOnStall(t *testing.T) {
+	s := Schedule{
+		Seed:  0xc0ffee,
+		Nodes: 2, CoresPerNode: 2,
+		OpsPerThread:   40,
+		StallEveryN:    10,
+		StallFor:       20 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+		Trace:          true,
+	}
+	rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Check() {
+		t.Errorf("invariant violated: %v", v)
+	}
+	var stalls int
+	for _, reason := range rep.TraceDumps {
+		if strings.Contains(reason, "stall") {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Errorf("no stall-reason trace dumps in %v", rep.TraceDumps)
+	}
 }

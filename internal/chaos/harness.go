@@ -8,6 +8,7 @@ import (
 
 	"github.com/asplos17/nr/internal/core"
 	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
 )
 
 // Schedule describes one chaos run: the machine shape, the op volume, and
@@ -46,6 +47,10 @@ type Schedule struct {
 	// StallThreshold enables the core watchdog (default 1ms when
 	// StallEveryN > 0, else off).
 	StallThreshold time.Duration
+	// Trace attaches a flight recorder with automatic dumps enabled (no
+	// rate limit, callback sink): every stall/panic/poison the run detects
+	// lands in Report.TraceDumps, so tests can assert the black box fired.
+	Trace bool
 	// Timeout bounds the whole run; exceeding it is the deadlock invariant
 	// firing (default 30s).
 	Timeout time.Duration
@@ -100,6 +105,13 @@ type Report struct {
 	Stats        core.Stats
 	Health       core.Health
 	Elapsed      time.Duration
+	// TraceDumps lists the reason of every automatic flight-recorder dump
+	// ("stall", "panic", "poisoned") the run produced, in order. Populated
+	// only with Schedule.Trace.
+	TraceDumps []string
+	// TraceEvents counts the events a final recorder snapshot held, a
+	// sanity signal that the recorder was live. Populated with Trace.
+	TraceEvents int
 }
 
 // ErrDeadlock is returned by Run when workers fail to finish within the
@@ -112,6 +124,22 @@ var ErrDeadlock = errors.New("chaos: workers did not finish within timeout (dead
 // deadlock) — injected faults are data, not errors.
 func Run(s Schedule) (*Report, error) {
 	s.fillDefaults()
+	var (
+		rec    *trace.Recorder
+		dumpMu sync.Mutex
+		dumps  []string
+	)
+	if s.Trace {
+		rec = trace.New(trace.Config{
+			RingSlots:       2048,
+			DumpMinInterval: -1, // short runs: record every failure, no rate limit
+			OnDump: func(reason string, _ trace.Snapshot) {
+				dumpMu.Lock()
+				dumps = append(dumps, reason)
+				dumpMu.Unlock()
+			},
+		})
+	}
 	inst, err := core.New[Op, Result](
 		func() core.Sequential[Op, Result] { return NewDS() },
 		core.Options{
@@ -121,12 +149,20 @@ func Run(s Schedule) (*Report, error) {
 			DedicatedCombiners: s.DedicatedCombiners,
 			DisableCombining:   s.DisableCombining,
 			StallThreshold:     s.StallThreshold,
+			Trace:              rec,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: building instance: %w", err)
 	}
 	defer inst.Close()
-	return run(inst, s)
+	rep, err := run(inst, s)
+	if rep != nil && s.Trace {
+		dumpMu.Lock()
+		rep.TraceDumps = append(rep.TraceDumps, dumps...)
+		dumpMu.Unlock()
+		rep.TraceEvents = len(rec.Snapshot().Events())
+	}
+	return rep, err
 }
 
 // run drives s's workers against inst (already configured). Extracted so

@@ -36,9 +36,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +50,7 @@ import (
 	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/rwlock"
 	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
 )
 
 // Sequential is the black-box contract a data structure must satisfy (§4).
@@ -111,6 +115,17 @@ type Options struct {
 	// observer must be concurrency-safe and non-blocking. A nil Observer
 	// costs one branch per event site.
 	Observer obs.Observer
+
+	// Trace, when non-nil, attaches the flight recorder: every handle and
+	// background goroutine gets a per-thread ring and records causal
+	// protocol milestones (slot publish, combiner pickup, log fill, replay,
+	// respond, ...) tagged with an operation token, so individual op
+	// lifecycles can be reconstructed after the fact. This is a separate
+	// seam from Observer on purpose: observer hooks carry aggregates with
+	// no op identity, while trace events carry the (node, slot, seq) token
+	// the reconstruction joins on. A nil Trace costs one nil check per
+	// event site (Ring.Record no-ops on a nil ring).
+	Trace *trace.Recorder
 }
 
 func (o *Options) fillDefaults() {
@@ -151,19 +166,27 @@ const (
 // contained panic (failure.go) — returns the same way on a separate word,
 // mirroring the paper's cache-line discipline.
 type slot[O, R any] struct {
-	op    O
+	op O
+	// seq is the submitting handle's per-op sequence number, written with
+	// the op and published by the same release store on state; the combiner
+	// reads it to stamp its trace events with the op's token.
+	seq   uint32
 	state atomic.Uint32
-	_     [60]byte
+	_     [56]byte
 	resp  R
 	err   error
 }
 
 // entry is what NR stores in the shared log: the operation plus response
-// routing for the DisableCombining path (slot < 0 means no delivery).
+// routing for the DisableCombining path (slot < 0 means no delivery). seq
+// completes the op token (node, slot, seq) so a remote replayer's trace
+// events join the originating op's span; it is published by the log's
+// marker store like the rest of the entry.
 type entry[O any] struct {
 	op   O
 	node int32
 	slot int32
+	seq  uint32
 }
 
 // takenSlot records one collected combining slot during a round.
@@ -199,6 +222,12 @@ type Instance[O, R any] struct {
 	replicas []*replica[O, R]
 	// observer mirrors opts.Observer for the hot paths' nil check.
 	observer obs.Observer
+	// rec mirrors opts.Trace (nil = flight recorder off).
+	rec *trace.Recorder
+	// profLabels holds per-node precomputed pprof label sets ([0] read,
+	// [1] update) for sampled op labeling; nil unless ProfileSampleRate > 0.
+	profLabels [][2]pprof.LabelSet
+	profRate   uint32
 
 	mu    sync.Mutex // guards registration
 	place *topology.Placement
@@ -243,7 +272,17 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 		opts:     opts,
 		log:      l,
 		observer: opts.Observer,
+		rec:      opts.Trace,
 		place:    topology.NewFillPlacement(opts.Topology),
+	}
+	if rate := opts.Trace.ProfileSampleRate(); rate > 0 {
+		inst.profRate = uint32(rate)
+		inst.profLabels = make([][2]pprof.LabelSet, opts.Topology.Nodes())
+		for n := range inst.profLabels {
+			ns := strconv.Itoa(n)
+			inst.profLabels[n][0] = pprof.Labels("nr_node", ns, "nr_op", "read")
+			inst.profLabels[n][1] = pprof.Labels("nr_node", ns, "nr_op", "update")
+		}
 	}
 	for n := 0; n < opts.Topology.Nodes(); n++ {
 		r := &replica[O, R]{
@@ -285,6 +324,7 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 // batch, then replays completed entries like any combining round would.
 func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
 	defer i.stopWG.Done()
+	ring := i.rec.AcquireRing()
 	for {
 		select {
 		case <-i.stop:
@@ -295,7 +335,7 @@ func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
 		if to := i.log.Completed(); to > r.localTail.Load() {
 			if r.combinerLock.TryLock() {
 				if to := i.log.Completed(); to > r.localTail.Load() {
-					i.refreshOwn(r, to, true)
+					i.refreshOwn(r, to, true, ring)
 					worked = true
 				}
 				r.combinerLock.Unlock()
@@ -325,11 +365,25 @@ type Handle[O, R any] struct {
 	node   int
 	slot   int
 	thread int
+	// ring is this handle's flight-recorder ring (nil when tracing is off);
+	// seq counts this handle's operations and completes the op token
+	// Token(node, slot, seq). Both are single-goroutine state, like the
+	// handle itself.
+	ring *trace.Ring
+	seq  uint32
+	// tsHint is the recorder-clock timestamp of the current op's start when
+	// TryExecute already read the clock for the metrics observer, else 0.
+	// Trace sites at the top of the op (tail-read, slot-publish) reuse it
+	// instead of paying a second clock read. Single-goroutine, like seq.
+	tsHint int64
 	// broken is set when this handle's combining slot can no longer be
 	// trusted (a response delivery invariant broke, see updateUncombined);
 	// sticky so a late delivery cannot be mistaken for a later op's response.
 	broken error
 }
+
+// token returns the handle's current op token.
+func (h *Handle[O, R]) token() uint64 { return trace.Token(h.node, h.slot, h.seq) }
 
 // ErrClosed is reported (wrapped, via errors.Is) by Register and
 // RegisterOnNode after Close on an instance configured with dedicated
@@ -367,7 +421,7 @@ func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 		}
 		s := r.registered
 		r.registered++
-		return &Handle[O, R]{inst: i, node: node, slot: s, thread: thread}, nil
+		return &Handle[O, R]{inst: i, node: node, slot: s, thread: thread, ring: i.rec.AcquireRing()}, nil
 	}
 	return nil, fmt.Errorf("core: all %d hardware threads registered", total)
 }
@@ -389,7 +443,7 @@ func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
 	}
 	s := r.registered
 	r.registered++
-	return &Handle[O, R]{inst: i, node: node, slot: s, thread: -1}, nil
+	return &Handle[O, R]{inst: i, node: node, slot: s, thread: -1, ring: i.rec.AcquireRing()}, nil
 }
 
 // Node returns the NUMA node this handle is bound to.
@@ -438,13 +492,64 @@ func (h *Handle[O, R]) TryExecute(op O) (R, error) {
 		var zero R
 		return zero, err
 	}
-	if o := i.observer; o != nil {
-		start := time.Now()
-		resp, class, err := i.dispatch(h, op)
-		o.OpDone(h.node, class, time.Since(start))
+	h.seq++
+	if rate := i.profRate; rate > 0 && h.seq%rate == 0 {
+		return i.executeLabeled(h, op)
+	}
+	o := i.observer
+	if o == nil && h.ring == nil {
+		resp, _, err := i.dispatch(h, op)
 		return resp, err
 	}
-	resp, _, err := i.dispatch(h, op)
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+		h.tsHint = h.ring.At(start)
+	} else {
+		h.tsHint = 0
+	}
+	resp, class, err := i.dispatch(h, op)
+	if o != nil {
+		elapsed := time.Since(start)
+		o.OpDone(h.node, class, elapsed)
+		// The op-end timestamp is derived from the observer's clock reads —
+		// the recorder adds no clock read of its own on this path.
+		h.ring.RecordAt(h.tsHint+int64(elapsed), trace.KOpEnd, h.node, h.token(), uint64(class))
+	} else {
+		h.ring.Record(trace.KOpEnd, h.node, h.token(), uint64(class))
+	}
+	return resp, err
+}
+
+// executeLabeled is TryExecute's sampled-profiling body: the dispatch runs
+// under runtime/pprof labels (nr_node, nr_op) so CPU profiles attribute
+// time to op class and node. Label attachment allocates, which is why it is
+// taken only every ProfileSampleRate-th op per handle.
+func (i *Instance[O, R]) executeLabeled(h *Handle[O, R], op O) (R, error) {
+	cls := 1
+	if i.replicas[h.node].ds.IsReadOnly(op) {
+		cls = 0
+	}
+	var (
+		resp  R
+		class obs.OpClass
+		err   error
+	)
+	o := i.observer
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+		h.tsHint = h.ring.At(start)
+	} else {
+		h.tsHint = 0
+	}
+	pprof.Do(context.Background(), i.profLabels[h.node][cls], func(context.Context) {
+		resp, class, err = i.dispatch(h, op)
+	})
+	if o != nil {
+		o.OpDone(h.node, class, time.Since(start))
+	}
+	h.ring.Record(trace.KOpEnd, h.node, h.token(), uint64(class))
 	return resp, err
 }
 
@@ -492,7 +597,10 @@ func (h *Handle[O, R]) PostAndAbandon(op O) {
 	}
 	r := h.inst.replicas[h.node]
 	s := &r.slots[h.slot]
+	h.seq++
 	s.op = op
+	s.seq = h.seq
+	h.ring.Record(trace.KSlotPublish, h.node, h.token(), 0)
 	s.state.Store(slotPosted)
 }
 
@@ -526,27 +634,54 @@ func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
 // panic containment, so a poisonous op advances localTail like any other —
 // and, if the entry originated on r's node with a response slot, delivers
 // the outcome (value or error).
-func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O]) {
+func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ring *trace.Ring) {
 	res, err := i.safeExecute(r, e.op, idx)
+	// Per-entry trace events are recorded only for the replay that DELIVERS
+	// a response (plus any contained panic): replays happen (replicas-1)
+	// extra times per op, always under a replica's write-side lock, so
+	// recording each would multiply the serialized cost of every update by
+	// the node count. Bulk replay remains visible through the aggregate
+	// events (KReaderRefresh, KHelp, KCombineEnd).
 	if e.slot >= 0 && e.node == r.id {
+		tok := trace.Token(int(e.node), int(e.slot), e.seq)
+		ring.Record(trace.KReplay, int(r.id), idx, tok)
+		if err != nil {
+			ring.Record(trace.KPanic, int(r.id), idx, tok)
+		}
 		s := &r.slots[e.slot]
 		s.resp, s.err = res, err
 		s.state.Store(slotDone)
+		ring.Record(trace.KRespond, int(r.id), tok, idx)
+	} else if err != nil {
+		ring.Record(trace.KPanic, int(r.id), idx, 0)
 	}
 }
 
 // refreshTo replays filled log entries into the replica up to 'to',
 // stopping early at a hole — a reader may proceed when it finds an empty
 // entry (§5.3). Caller holds r's write-side lock.
-func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64) {
+func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64, ring *trace.Ring) {
 	for idx := r.localTail.Load(); idx < to; idx++ {
 		e, ok := i.log.Get(idx)
 		if !ok {
 			return
 		}
-		i.applyEntry(r, idx, e)
+		i.applyEntry(r, idx, e, ring)
 		r.localTail.Store(idx + 1)
 	}
+}
+
+// waitGet fetches the entry at idx, recording a hole-wait event (with the
+// spin count) when the entry was reserved but not yet filled.
+func (i *Instance[O, R]) waitGet(node int, idx uint64, ring *trace.Ring) entry[O] {
+	if ring == nil {
+		return i.log.WaitGet(idx)
+	}
+	e, spins := i.log.WaitGetObserved(idx)
+	if spins > 0 {
+		ring.Record(trace.KHoleWait, node, idx, uint64(spins))
+	}
+	return e
 }
 
 // combine is Algorithm 1's Combine: post the op, then either become the
@@ -555,6 +690,12 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
 	s.op = op
+	s.seq = h.seq
+	tp := h.tsHint
+	if tp == 0 {
+		tp = h.ring.Now()
+	}
+	h.ring.RecordAt(tp, trace.KSlotPublish, h.node, h.token(), 0)
 	s.state.Store(slotPosted)
 	for {
 		if st := s.state.Load(); st == slotDone {
@@ -564,7 +705,7 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 		}
 		if r.combinerLock.TryLock() {
 			if s.state.Load() != slotDone {
-				i.runCombiner(r)
+				i.runCombiner(r, h.ring)
 			}
 			r.combinerLock.Unlock()
 			// runCombiner served every posted slot, including ours.
@@ -576,15 +717,23 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	}
 }
 
-// runCombiner executes one combining round. The caller holds the combiner
-// lock; under ablation #3 that lock doubles as the replica lock.
-func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
+// runCombiner executes one combining round, recording its trace events into
+// ring (the combining thread's own ring — combiner events land on the
+// combiner's timeline, joined to each op by token). The caller holds the
+// combiner lock; under ablation #3 that lock doubles as the replica lock.
+func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 	o := i.observer
 	var began time.Time
 	if o != nil {
 		o.CombineStart(int(r.id))
 		began = time.Now()
 	}
+	// One clock read covers the round start and the pickups: collection is a
+	// single pass over the node's slots, far shorter than the clock
+	// resolution that matters here, and the round runs under the combiner
+	// lock — every clock read it saves shortens the serialized section.
+	t0 := ring.Now()
+	ring.RecordAt(t0, trace.KCombineStart, int(r.id), 0, 0)
 	// Collect the batch: every posted slot on this node (§5.2), into the
 	// replica's preallocated scratch buffer (cap = slot count, so append
 	// below never allocates).
@@ -594,6 +743,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 			s := &r.slots[idx]
 			if s.state.Load() == slotPosted && s.state.CompareAndSwap(slotPosted, slotTaken) {
 				batch = append(batch, takenSlot[O, R]{s, int32(idx)})
+				ring.RecordAt(t0, trace.KPickup, int(r.id), trace.Token(int(r.id), idx, s.seq), 0)
 			}
 		}
 	}
@@ -602,14 +752,16 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	// batches (§5.2); bounded so a lone thread still makes progress.
 	for tries := 0; len(batch) < i.opts.MinBatch && tries < 3; tries++ {
 		if to := i.log.Completed(); to > r.localTail.Load() {
-			i.refreshOwn(r, to, true)
+			i.refreshOwn(r, to, true, ring)
 		}
+		t0 = ring.Now() // re-stamp: the refresh above took real time
 		collect()
 	}
 	if len(batch) == 0 {
 		if o != nil {
 			o.CombineEnd(int(r.id), 0, 0, time.Since(began))
 		}
+		ring.Record(trace.KCombineEnd, int(r.id), 0, 0)
 		return
 	}
 	i.combines.Add(1)
@@ -618,9 +770,15 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	// Append the batch: reserve with one CAS, then fill (§5.1). Entries
 	// carry (node, slot) tags so that if a helper replays them into this
 	// replica first, the helper delivers the responses.
-	start := i.reserveConsuming(r, len(batch), true)
+	start := i.reserveConsuming(r, len(batch), true, ring)
+	// One clock read stamps the reservation and the fills: it is taken
+	// AFTER reserveConsuming returns, so a slow reservation (log full,
+	// helping) still shows as a long pickup→reserve phase.
+	t1 := ring.Now()
+	ring.RecordAt(t1, trace.KLogReserve, int(r.id), start, uint64(len(batch)))
 	for k, t := range batch {
-		i.log.Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot})
+		i.log.Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot, seq: t.s.seq})
+		ring.RecordAt(t1, trace.KLogFill, int(r.id), trace.Token(int(r.id), int(t.slot), t.s.seq), start+uint64(k))
 	}
 	end := start + uint64(len(batch))
 
@@ -639,7 +797,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	// waiting out any holes (§5.1).
 	idx := r.localTail.Load()
 	for ; idx < start; idx++ {
-		i.applyEntry(r, idx, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.waitGet(int(r.id), idx, ring), ring)
 		r.localTail.Store(idx + 1)
 	}
 	if idx == start {
@@ -650,14 +808,22 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 		r.localTail.Store(end)
 		i.log.AdvanceCompleted(end)
 		for k, t := range batch {
+			tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
+			// KExecute is stamped before the op runs and KRespond after
+			// delivery, so the execute→respond gap is the op's real duration.
+			ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
 			t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
+			if t.s.err != nil {
+				ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
+			}
 			t.s.state.Store(slotDone)
+			ring.Record(trace.KRespond, int(r.id), tok, start+uint64(k))
 		}
 	} else {
 		// A helper replayed past our batch start while we were appending;
 		// finish through the log — tag delivery answers our batch slots.
 		for ; idx < end; idx++ {
-			i.applyEntry(r, idx, i.log.WaitGet(idx))
+			i.applyEntry(r, idx, i.waitGet(int(r.id), idx, ring), ring)
 			r.localTail.Store(idx + 1)
 		}
 		i.log.AdvanceCompleted(end)
@@ -668,6 +834,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R]) {
 	if o != nil {
 		o.CombineEnd(int(r.id), len(batch), len(batch), time.Since(began))
 	}
+	ring.Record(trace.KCombineEnd, int(r.id), uint64(len(batch)), uint64(len(batch)))
 }
 
 // uncombinedDeliveryWait bounds how long an uncombined updater waits for a
@@ -682,9 +849,12 @@ const uncombinedDeliveryWait = 2 * time.Second
 func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
+	s.seq = h.seq
 	s.state.Store(slotTaken) // awaiting response via log replay
-	start := i.reserveConsuming(r, 1, false)
-	i.log.Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot)})
+	start := i.reserveConsuming(r, 1, false, h.ring)
+	h.ring.Record(trace.KLogReserve, h.node, start, 1)
+	i.log.Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot), seq: h.seq})
+	h.ring.Record(trace.KLogFill, h.node, h.token(), start)
 	if i.opts.SerialReplicaUpdate {
 		for i.log.Completed() < start {
 			runtime.Gosched()
@@ -692,7 +862,7 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	}
 	i.replicaWriteLock(r)
 	for idx := r.localTail.Load(); idx <= start; idx++ {
-		i.applyEntry(r, idx, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.waitGet(h.node, idx, h.ring), h.ring)
 		r.localTail.Store(idx + 1)
 	}
 	i.log.AdvanceCompleted(start + 1)
@@ -723,13 +893,13 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 
 // refreshOwn refreshes r to 'to'. haveLock says the caller already holds
 // the lock protecting the replica (a combiner under ablation #3).
-func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLock bool) {
+func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLock bool, ring *trace.Ring) {
 	if i.opts.CombinedReplicaLock && haveCombinerLock {
-		i.refreshTo(r, to)
+		i.refreshTo(r, to, ring)
 		return
 	}
 	i.replicaWriteLock(r)
-	i.refreshTo(r, to)
+	i.refreshTo(r, to, ring)
 	i.replicaWriteUnlock(r)
 }
 
@@ -738,8 +908,9 @@ func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLoc
 // localTail to advance, including replicas on nodes whose threads are
 // currently inactive (§6). So a blocked appender (1) drains the log into its
 // own replica and (2) helps lagging replicas catch up to completedTail.
-func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool) uint64 {
+func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool, ring *trace.Ring) uint64 {
 	o := i.observer
+	reported := false
 	for {
 		start, casRetries, ok := i.log.TryReserveObserved(n)
 		if o != nil && casRetries > 0 {
@@ -748,9 +919,13 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 		if ok {
 			return start
 		}
+		if !reported {
+			reported = true // one log-full event per blocked reservation
+			ring.Record(trace.KLogFull, int(r.id), i.log.Tail(), 0)
+		}
 		// Drain into our own replica so our localTail is not the laggard.
 		if to := i.log.Tail(); to > r.localTail.Load() {
-			i.refreshOwn(r, to, haveCombinerLock)
+			i.refreshOwn(r, to, haveCombinerLock, ring)
 		}
 		// Help other replicas, bounded by completedTail (see package doc).
 		to := i.log.Completed()
@@ -760,12 +935,15 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 			}
 			if i.replicaTryWriteLock(r2) {
 				before := r2.localTail.Load()
-				i.refreshTo(r2, to)
+				i.refreshTo(r2, to, ring)
 				helped := r2.localTail.Load() - before
 				i.helpedEntries.Add(helped)
 				i.replicaWriteUnlock(r2)
-				if o != nil && helped > 0 {
-					o.Help(int(r2.id), int(helped))
+				if helped > 0 {
+					if o != nil {
+						o.Help(int(r2.id), int(helped))
+					}
+					ring.Record(trace.KHelp, int(r2.id), helped, 0)
 				}
 			}
 		}
@@ -782,31 +960,41 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
 	i.readOps.Add(1)
 	r := i.replicas[h.node]
+	tok := h.token()
 	var readTail uint64
 	if i.opts.ReadWaitLogTail {
 		readTail = i.log.Tail() // ablation #2: block on local combiner holes
 	} else {
 		readTail = i.log.Completed()
 	}
+	t0 := h.tsHint
+	if t0 == 0 {
+		t0 = h.ring.Now()
+	}
+	h.ring.RecordAt(t0, trace.KTailRead, h.node, tok, readTail)
 	if i.opts.CombinedReplicaLock {
 		// Ablation #3: the combiner lock protects the replica; readers
 		// serialize with the whole combining cycle.
 		r.combinerLock.Lock()
+		h.ring.Record(trace.KRLock, h.node, tok, 0)
 		if before := r.localTail.Load(); before < readTail {
 			i.readerRefreshes.Add(1)
 			for r.localTail.Load() < readTail {
-				i.refreshTo(r, readTail)
+				i.refreshTo(r, readTail, h.ring)
 				runtime.Gosched()
 			}
 			if o := i.observer; o != nil {
 				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
 			}
+			h.ring.Record(trace.KReaderRefresh, h.node, uint64(r.localTail.Load()-before), 0)
 		}
 		resp, done, err := i.safeRead(r, op, fake)
 		r.combinerLock.Unlock()
 		return resp, done, err
 	}
+	waited := false
 	for r.localTail.Load() < readTail {
+		waited = true
 		if r.combinerLock.Locked() {
 			// A combiner exists; it will advance the replica (§5.3).
 			runtime.Gosched()
@@ -821,15 +1009,28 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool,
 		r.rw.Lock()
 		if before := r.localTail.Load(); before < readTail {
 			i.readerRefreshes.Add(1)
-			i.refreshTo(r, readTail)
+			i.refreshTo(r, readTail, h.ring)
 			if o := i.observer; o != nil {
 				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
 			}
+			h.ring.Record(trace.KReaderRefresh, h.node, uint64(r.localTail.Load()-before), 0)
 		}
 		r.rw.Unlock()
 		r.refresher.Unlock()
 	}
-	r.rw.RLock(h.slot)
+	if h.ring != nil {
+		spins := r.rw.RLockObserved(h.slot)
+		// Uncontended reads acquired the lock nanoseconds after t0: reuse
+		// the clock read. Only a read that actually waited (for the tail or
+		// for the lock) pays a second one for a faithful rlock timestamp.
+		t1 := t0
+		if waited || spins > 0 {
+			t1 = h.ring.Now()
+		}
+		h.ring.RecordAt(t1, trace.KRLock, h.node, tok, uint64(spins))
+	} else {
+		r.rw.RLock(h.slot)
+	}
 	resp, done, err := i.safeRead(r, op, fake)
 	r.rw.RUnlock(h.slot)
 	return resp, done, err
@@ -851,6 +1052,15 @@ func (i *Instance[O, R]) stats() Stats {
 
 // Replicas returns the number of per-node replicas.
 func (i *Instance[O, R]) Replicas() int { return len(i.replicas) }
+
+// TraceRecorder returns the attached flight recorder, nil when tracing is
+// disabled.
+func (i *Instance[O, R]) TraceRecorder() *trace.Recorder { return i.rec }
+
+// TraceSnapshot returns a point-in-time copy of the flight recorder's
+// contents (the zero Snapshot when tracing is disabled). It is safe
+// concurrently with operations and with Close.
+func (i *Instance[O, R]) TraceSnapshot() trace.Snapshot { return i.rec.Snapshot() }
 
 // LogTail exposes the log tail for tests and monitoring.
 func (i *Instance[O, R]) LogTail() uint64 { return i.log.Tail() }
@@ -884,7 +1094,7 @@ func (i *Instance[O, R]) Quiesce() {
 	for _, r := range i.replicas {
 		i.replicaWriteLock(r)
 		for idx := r.localTail.Load(); idx < to; idx++ {
-			i.applyEntry(r, idx, i.log.WaitGet(idx))
+			i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
 			r.localTail.Store(idx + 1)
 		}
 		i.replicaWriteUnlock(r)
@@ -898,7 +1108,7 @@ func (i *Instance[O, R]) InspectReplica(node int, fn func(ds Sequential[O, R])) 
 	to := i.log.Completed()
 	i.replicaWriteLock(r)
 	for idx := r.localTail.Load(); idx < to; idx++ {
-		i.applyEntry(r, idx, i.log.WaitGet(idx))
+		i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
 		r.localTail.Store(idx + 1)
 	}
 	fn(r.ds)

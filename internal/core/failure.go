@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/asplos17/nr/internal/trace"
 )
 
 // noIndex marks a panic that did not come from a logged entry (read path).
@@ -176,6 +178,7 @@ func (i *Instance[O, R]) poison(reason string) {
 	}
 	i.poisonMu.Unlock()
 	i.poisoned.Store(true)
+	i.rec.AutoDump("poisoned")
 }
 
 // poisonedErr returns the sticky poison error (nil when healthy).
@@ -213,6 +216,7 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 				i.poison(reason)
 			}
 		}
+		i.rec.AutoDump("panic")
 		err = pe
 	}()
 	resp = r.ds.Execute(op)
@@ -231,6 +235,7 @@ func (i *Instance[O, R]) safeRead(r *replica[O, R], op O, fake bool) (resp R, do
 			if o := i.observer; o != nil {
 				o.PanicContained(int(r.id), noIndex)
 			}
+			i.rec.AutoDump("panic")
 			err = &PanicError{Value: p, Stack: string(debug.Stack()), Index: noIndex}
 			done = true
 		}
@@ -276,6 +281,7 @@ func (i *Instance[O, R]) health() Health {
 // the stalled combiner is out.
 func (i *Instance[O, R]) watchdog() {
 	defer i.stopWG.Done()
+	ring := i.rec.AcquireRing()
 	th := i.opts.StallThreshold
 	period := th / 4
 	if period < 100*time.Microsecond {
@@ -304,6 +310,8 @@ func (i *Instance[O, R]) watchdog() {
 				if o := i.observer; o != nil {
 					o.Stall(n, time.Duration(now-since))
 				}
+				ring.Record(trace.KStall, n, uint64(now-since), 0)
+				i.rec.AutoDump("stall")
 			}
 		}
 		if !stalled {
@@ -318,12 +326,15 @@ func (i *Instance[O, R]) watchdog() {
 			}
 			if i.replicaTryWriteLock(r2) {
 				before := r2.localTail.Load()
-				i.refreshTo(r2, to)
+				i.refreshTo(r2, to, ring)
 				helped := r2.localTail.Load() - before
 				i.helpedEntries.Add(helped)
 				i.replicaWriteUnlock(r2)
-				if o := i.observer; o != nil && helped > 0 {
-					o.Help(int(r2.id), int(helped))
+				if helped > 0 {
+					if o := i.observer; o != nil {
+						o.Help(int(r2.id), int(helped))
+					}
+					ring.Record(trace.KHelp, int(r2.id), helped, 0)
 				}
 			}
 		}

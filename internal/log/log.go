@@ -208,11 +208,23 @@ func (l *Log[O]) Get(idx uint64) (O, bool) {
 // WaitGet spins until the entry at idx is filled, then returns it. Combiners
 // must wait for holes preceding their batch (§5.1).
 func (l *Log[O]) WaitGet(idx uint64) O {
+	op, _ := l.WaitGetObserved(idx)
+	return op
+}
+
+// WaitGetObserved is WaitGet, additionally reporting how many scheduler
+// yields were spent waiting on a reserved-but-unfilled entry. Hole waits are
+// the log-side stall signal of §5.1 (a combiner preempted between reserve
+// and fill blocks every replayer behind it), so the flight recorder tags
+// them with the spin count.
+func (l *Log[O]) WaitGetObserved(idx uint64) (O, int) {
 	e := &l.entries[idx%l.size]
+	spins := 0
 	for e.marker.Load() != idx+1 {
+		spins++
 		runtime.Gosched()
 	}
-	return e.op
+	return e.op, spins
 }
 
 // MemoryBytes estimates the log's memory footprint (for the paper's memory

@@ -15,6 +15,7 @@ import (
 	"github.com/asplos17/nr/internal/core"
 	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
 )
 
 // Shared is the concurrent keyspace interface (NR or a baseline wrapper).
@@ -32,6 +33,14 @@ const (
 // NewShared builds a concurrent keyspace with the given method. Seed fixes
 // replica determinism; topo sizes NR's replicas and the lock/slot arrays.
 func NewShared(method string, topo topology.Topology, seed uint64) (Shared, error) {
+	return NewSharedTraced(method, topo, seed, nil)
+}
+
+// NewSharedTraced is NewShared with a flight recorder attached to the NR
+// instance (rec is ignored by the baseline methods, which have no protocol
+// to trace). Pass the same recorder to the server via WithRecorder so
+// SLOWLOG and /debug/trace can read it.
+func NewSharedTraced(method string, topo topology.Topology, seed uint64, rec *trace.Recorder) (Shared, error) {
 	maxThreads := topo.TotalThreads()
 	switch method {
 	case MethodNR:
@@ -39,7 +48,7 @@ func NewShared(method string, topo topology.Topology, seed uint64) (Shared, erro
 			func() core.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
 			// The metrics observer feeds INFO's latency section and the
 			// /metrics endpoint; it is cheap enough to be on by default.
-			core.Options{Topology: topo, Observer: obs.NewMetrics(topo.Nodes())})
+			core.Options{Topology: topo, Observer: obs.NewMetrics(topo.Nodes()), Trace: rec})
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +98,9 @@ type Server struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	started      time.Time
+	// rec is the keyspace's flight recorder (nil = tracing off); SLOWLOG
+	// and TraceHandler read it. See WithRecorder.
+	rec *trace.Recorder
 
 	// commands counts every parsed command (INFO included); connTotal
 	// counts accepted connections over the server's lifetime.
@@ -120,6 +132,14 @@ func WithReadTimeout(d time.Duration) ServerOption {
 // every reply. Zero disables it.
 func WithWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithRecorder hands the server the keyspace's flight recorder (the one
+// passed to NewSharedTraced) so the SLOWLOG command and the /debug/trace
+// endpoint can snapshot it. Without it SLOWLOG answers with an error and
+// /debug/trace with 404.
+func WithRecorder(rec *trace.Recorder) ServerOption {
+	return func(s *Server) { s.rec = rec }
 }
 
 // NewServer builds a server over the shared keyspace with the given worker
@@ -259,6 +279,17 @@ func (s *Server) handle(conn net.Conn) {
 		// keyspace's operation set.
 		if len(args) > 0 && strings.EqualFold(args[0], "INFO") {
 			if err := w.Bulk(s.Info()); err != nil {
+				return
+			}
+			if err := s.flush(conn, w); err != nil {
+				return
+			}
+			continue
+		}
+		// SLOWLOG is likewise server-level: it reads the flight recorder,
+		// not the keyspace (trace.go).
+		if len(args) > 0 && strings.EqualFold(args[0], "SLOWLOG") {
+			if err := s.slowlog(w, args[1:]); err != nil {
 				return
 			}
 			if err := s.flush(conn, w); err != nil {

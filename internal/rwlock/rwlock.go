@@ -22,6 +22,10 @@ import (
 type Lock interface {
 	// RLock acquires the lock in read mode for reader slot.
 	RLock(slot int)
+	// RLockObserved is RLock, additionally reporting how many scheduler
+	// yields the acquisition spent blocked behind a writer (0 on the
+	// uncontended path). Implementations without that visibility report 0.
+	RLockObserved(slot int) (spins int)
 	// RUnlock releases read mode for reader slot.
 	RUnlock(slot int)
 	// Lock acquires the lock in write mode.
@@ -75,18 +79,26 @@ func (l *Distributed) Slots() int { return len(l.readers) }
 
 // RLock acquires read mode for reader slot.
 func (l *Distributed) RLock(slot int) {
+	l.RLockObserved(slot)
+}
+
+// RLockObserved acquires read mode for reader slot, reporting how many
+// scheduler yields it spent blocked behind a writer.
+func (l *Distributed) RLockObserved(slot int) (spins int) {
 	r := &l.readers[slot]
 	for {
 		// Wait for any active writer.
 		for l.writer.Load() != 0 {
+			spins++
 			runtime.Gosched()
 		}
 		r.v.Store(1)
 		if l.writer.Load() == 0 {
-			return // entered; writer will see our flag
+			return spins // entered; writer will see our flag
 		}
 		// A writer raced in; back off and retry.
 		r.v.Store(0)
+		spins++
 	}
 }
 
@@ -148,6 +160,13 @@ func NewCentralized() *Centralized { return &Centralized{} }
 
 // RLock acquires read mode; the slot is ignored.
 func (l *Centralized) RLock(int) { l.mu.RLock() }
+
+// RLockObserved acquires read mode; sync.RWMutex gives no wait visibility,
+// so the reported spin count is always 0.
+func (l *Centralized) RLockObserved(slot int) int {
+	l.mu.RLock()
+	return 0
+}
 
 // RUnlock releases read mode; the slot is ignored.
 func (l *Centralized) RUnlock(int) { l.mu.RUnlock() }

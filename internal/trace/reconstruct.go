@@ -1,0 +1,190 @@
+// Span reconstruction: turn a flat Snapshot back into per-operation
+// lifecycles. Events recorded by different goroutines (submitter,
+// combiner, helper) are joined on the operation token; within a token,
+// milestones are ordered by timestamp with protocol order as the
+// tie-breaker, so a span's phase sequence is the op's actual causal path.
+package trace
+
+import "sort"
+
+// Phase is one leg of an operation's lifecycle: the time from reaching
+// milestone Name until the next milestone (EndNs == the next phase's
+// StartNs; the final phase has EndNs == StartNs).
+type Phase struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// OpSpan is one reconstructed operation.
+type OpSpan struct {
+	Token uint64 `json:"token"`
+	// Node/Slot/Seq are the token parts: the submitting handle's node and
+	// combining slot, and its per-handle op sequence number.
+	Node int    `json:"node"`
+	Slot int    `json:"slot"`
+	Seq  uint32 `json:"seq"`
+	// Ring is the submitting thread's ring (from its first event).
+	Ring int `json:"ring"`
+	// Class is "read" or "update" (from KOpEnd), or "inflight" when the
+	// op never completed inside the recorded window — the interesting
+	// case in a black-box dump.
+	Class string `json:"class"`
+	// Complete reports whether the span reached op-end.
+	Complete bool `json:"complete"`
+	// LogIndex is the op's absolute log position (updates only).
+	LogIndex uint64  `json:"log_index,omitempty"`
+	StartNs  int64   `json:"start_ns"`
+	EndNs    int64   `json:"end_ns"`
+	Phases   []Phase `json:"phases"`
+}
+
+// DurNs returns the span's total duration.
+func (s OpSpan) DurNs() int64 { return s.EndNs - s.StartNs }
+
+// Phase returns the named phase and whether it exists.
+func (s OpSpan) Phase(name string) (Phase, bool) {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Phase{}, false
+}
+
+// milestoneRank orders a token's events when timestamps tie (sub-ns
+// adjacency is common on fast paths): protocol order for updates and
+// reads, with shared kinds placed where both paths agree.
+func milestoneRank(k Kind) int {
+	switch k {
+	case KSlotPublish, KTailRead:
+		return 0
+	case KPickup:
+		return 1
+	case KLogFill:
+		return 2
+	case KReplay:
+		return 3
+	case KExecute:
+		return 4
+	case KRLock:
+		return 4
+	case KRespond:
+		return 5
+	case KOpEnd:
+		return 6
+	}
+	return 7
+}
+
+// opToken extracts the event's operation token, 0 when it has none.
+func opToken(e Event) uint64 {
+	switch e.Kind {
+	case KSlotPublish, KPickup, KLogFill, KExecute, KRespond, KTailRead, KRLock, KOpEnd:
+		return e.A
+	case KReplay:
+		return e.B
+	}
+	return 0
+}
+
+// Reconstruct groups a snapshot's token-bearing events into per-operation
+// spans, ordered by start time. Ops with a single event are dropped (a
+// bare replay of an op whose other milestones were already overwritten
+// says nothing about the op's lifecycle).
+func Reconstruct(snap Snapshot) []OpSpan {
+	byTok := make(map[uint64][]Event)
+	for _, g := range snap.Rings {
+		for _, e := range g.Events {
+			if tok := opToken(e); tok != 0 {
+				byTok[tok] = append(byTok[tok], e)
+			}
+		}
+	}
+	spans := make([]OpSpan, 0, len(byTok))
+	for tok, evs := range byTok {
+		if len(evs) < 2 {
+			continue
+		}
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Ts != evs[j].Ts {
+				return evs[i].Ts < evs[j].Ts
+			}
+			return milestoneRank(evs[i].Kind) < milestoneRank(evs[j].Kind)
+		})
+		node, slot, seq := TokenParts(tok)
+		sp := OpSpan{
+			Token: tok, Node: node, Slot: slot, Seq: seq,
+			Ring:    evs[0].Ring,
+			Class:   "inflight",
+			StartNs: evs[0].Ts,
+			EndNs:   evs[len(evs)-1].Ts,
+		}
+		for i, e := range evs {
+			end := e.Ts
+			if i+1 < len(evs) {
+				end = evs[i+1].Ts
+			}
+			sp.Phases = append(sp.Phases, Phase{Name: e.Kind.String(), StartNs: e.Ts, EndNs: end})
+			switch e.Kind {
+			case KLogFill, KExecute:
+				sp.LogIndex = e.B
+			case KOpEnd:
+				sp.Complete = true
+				if e.B == 0 {
+					sp.Class = "read"
+				} else {
+					sp.Class = "update"
+				}
+				sp.Ring = e.Ring // the submitter recorded op-end
+			case KSlotPublish, KTailRead:
+				sp.Ring = e.Ring // ditto for the span's first milestone
+			}
+		}
+		spans = append(spans, sp)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].Token < spans[j].Token
+	})
+	return spans
+}
+
+// combineRound is one reconstructed combining round (combine-start →
+// combine-end on one ring), used by the Chrome exporter's combiner tracks.
+type combineRound struct {
+	Ring    int
+	Node    int
+	StartNs int64
+	EndNs   int64
+	Batch   uint64
+	Append  uint64
+}
+
+// combineRounds pairs each ring's combine-start/combine-end events.
+func combineRounds(snap Snapshot) []combineRound {
+	var rounds []combineRound
+	for _, g := range snap.Rings {
+		openAt := int64(-1)
+		openNode := 0
+		for _, e := range g.Events {
+			switch e.Kind {
+			case KCombineStart:
+				openAt, openNode = e.Ts, e.Node
+			case KCombineEnd:
+				if openAt < 0 {
+					continue // start fell off the ring
+				}
+				rounds = append(rounds, combineRound{
+					Ring: e.Ring, Node: openNode,
+					StartNs: openAt, EndNs: e.Ts,
+					Batch: e.A, Append: e.B,
+				})
+				openAt = -1
+			}
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,65 @@
+// The compact text report: the top-K slowest reconstructed operations with
+// their phase breakdown — the "SLOWLOG" view of the flight recorder, also
+// served by nrredis's SLOWLOG command and /debug/trace?format=text.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TopSlow returns the k slowest spans (complete ops first by duration,
+// then in-flight ops, which have no meaningful total). k <= 0 means all.
+func TopSlow(spans []OpSpan, k int) []OpSpan {
+	out := make([]OpSpan, len(spans))
+	copy(out, spans)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Complete != out[j].Complete {
+			return out[i].Complete
+		}
+		return out[i].DurNs() > out[j].DurNs()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FormatSpan renders one span as a single report line:
+//
+//	update node=1 slot=3 seq=17 total=41.2µs log=812 | slot-publish=1.1µs combiner-pickup=2µs ...
+func FormatSpan(sp OpSpan) string {
+	line := fmt.Sprintf("%-8s node=%d slot=%d seq=%d total=%s",
+		sp.Class, sp.Node, sp.Slot, sp.Seq, time.Duration(sp.DurNs()))
+	if sp.Class == "update" {
+		line += fmt.Sprintf(" log=%d", sp.LogIndex)
+	}
+	sep := " | "
+	for _, p := range sp.Phases {
+		if p.EndNs <= p.StartNs {
+			continue
+		}
+		line += fmt.Sprintf("%s%s=%s", sep, p.Name, time.Duration(p.EndNs-p.StartNs))
+		sep = " "
+	}
+	return line
+}
+
+// WriteSlowReport reconstructs snap and writes the top-k slowest ops as a
+// text table, one line per op, slowest first.
+func WriteSlowReport(w io.Writer, snap Snapshot, k int) error {
+	all := Reconstruct(snap)
+	spans := TopSlow(all, k)
+	if _, err := fmt.Fprintf(w, "flight recorder: %d ops reconstructed, showing %d slowest\n",
+		len(all), len(spans)); err != nil {
+		return err
+	}
+	for i, sp := range spans {
+		if _, err := fmt.Fprintf(w, "%3d. %s\n", i+1, FormatSpan(sp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

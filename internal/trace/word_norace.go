@@ -1,0 +1,17 @@
+//go:build !race
+
+package trace
+
+// word is an event slot's payload cell. In normal builds it is a plain
+// machine word: the writer's payload stores are published by the slot's
+// atomic meta seal (a full barrier on every supported architecture), and a
+// reader loads payload only after an atomic meta load that matched the
+// seal, so sealed payloads are properly ordered. The one unsynchronized
+// case — a reader copying a slot while a lapping writer overwrites it — is
+// the seqlock's deliberate benign race: whatever the reader saw is
+// discarded by Snapshot's lap floor. Race-detector builds (word_race.go)
+// swap in full atomics so the detector does not flag that window.
+type word struct{ v uint64 }
+
+func (w *word) store(x uint64) { w.v = x }
+func (w *word) load() uint64   { return w.v }

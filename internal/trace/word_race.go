@@ -1,0 +1,14 @@
+//go:build race
+
+package trace
+
+import "sync/atomic"
+
+// word under the race detector: full atomics, so the seqlock's benign race
+// (a reader copying a slot a lapping writer is overwriting, discarded by
+// Snapshot's lap floor) does not trip the detector. See word_norace.go for
+// the normal-build representation and the ordering argument.
+type word struct{ v atomic.Uint64 }
+
+func (w *word) store(x uint64) { w.v.Store(x) }
+func (w *word) load() uint64   { return w.v.Load() }

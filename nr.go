@@ -35,6 +35,7 @@ import (
 	"github.com/asplos17/nr/internal/core"
 	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
 )
 
 // Sequential is the black-box contract (§4 of the paper): Create is the
@@ -83,6 +84,7 @@ type settings struct {
 	cfg       Config
 	observers []obs.Observer
 	metrics   bool
+	trace     *trace.Recorder
 }
 
 // WithConfig applies an entire Config struct, exactly as the pre-options
@@ -252,6 +254,7 @@ func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance
 		s.observers = append(s.observers, obs.NewMetrics(nodes))
 	}
 	opts.Observer = obs.Combine(s.observers...)
+	opts.Trace = s.trace
 	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, opts)
 	if err != nil {
 		return nil, err
