@@ -2,21 +2,26 @@
 # protocol-critical packages under the race detector; tier2 adds the race
 # detector everywhere; chaos replays the seeded fault-injection schedules
 # (internal/chaos, seeds 1 / 42 / 0xc0ffee / 0xdeadbeef) under -race.
+# lint runs nrlint, the NR-specific static analyzers (DESIGN.md §10).
 
 GO ?= go
 
 # The packages where a data race is a protocol bug, not just a test bug.
 RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs
 
-.PHONY: tier1 tier1-race tier2 chaos check test build vet race bench
+.PHONY: tier1 tier1-race tier2 chaos check test build vet race bench lint
 
-tier1: ## build + vet + unit tests (the acceptance gate)
+tier1: ## build + vet + lint + unit tests (the acceptance gate)
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/nrlint ./...
 	$(GO) test ./...
 
 tier1-race: ## race detector on the protocol-critical packages
 	$(GO) test -race $(RACE_PKGS)
+
+lint: ## nrlint: NR memory-layout and hot-path invariants (DESIGN.md §10)
+	$(GO) run ./cmd/nrlint ./...
 
 check: tier1 tier1-race ## the default pre-commit gate: tier1 + race tier
 
@@ -28,7 +33,7 @@ chaos: ## fault-injection suite under the race detector, fixed seeds
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
 bench: ## real-implementation benchmark with the flight-recorder overhead block
-	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -json BENCH_PR3.json
+	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -json BENCH_PR4.json
 
 build:
 	$(GO) build ./...

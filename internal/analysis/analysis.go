@@ -1,0 +1,112 @@
+// Package analysis is nrlint's static-analysis framework: a deliberately
+// small, dependency-free re-implementation of the golang.org/x/tools
+// go/analysis API shape (Analyzer, Pass, Diagnostic) plus a source loader
+// (load.go) and a `// want`-comment test harness
+// (analysistest/analysistest.go).
+//
+// The container this repo builds in has no module cache and no network, so
+// x/tools is not importable; everything here uses only the standard library
+// (go/ast, go/parser, go/types and the "source" importer). The API mirrors
+// x/tools closely enough that the analyzers (cachepad.go, atomicmix.go,
+// noalloc.go, spinloop.go, obsguard.go) would port to a real multichecker by
+// changing imports.
+//
+// The analyzers enforce NR's unchecked invariants — the memory-layout and
+// hot-path discipline the paper's NUMA win depends on (§5.1, §5.2, §5.5 of
+// "Black-box Concurrent Data Structures for NUMA Architectures") — from
+// `//nr:` comment directives placed on the real types and functions. See
+// directive.go for the grammar and DESIGN.md §10 for the invariant ↔ paper
+// mapping.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one nrlint check. Unlike x/tools there is no Requires
+// graph: every analyzer runs independently on a loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description, shown by `nrlint -list`.
+	Doc string
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files (comments included), build-tag
+	// filtered the same way `go build` would for this platform.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its fact tables.
+	Pkg  *types.Package
+	Info *types.Info
+	// Sizes computes real field offsets and sizes for the gc compiler on
+	// this architecture; cachepad's layout math uses it.
+	Sizes types.Sizes
+	// Directives are the package's parsed //nr: annotations.
+	Directives *Directives
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzers against pkg and returns their diagnostics in
+// file/position order. An analyzer returning an error aborts the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := CollectDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Sizes:      pkg.Sizes,
+			Directives: dirs,
+			report:     func(d Diagnostic) { out = append(out, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// All returns every nrlint analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CachePad, AtomicMix, NoAlloc, SpinLoop, ObsGuard}
+}

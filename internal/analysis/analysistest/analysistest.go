@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixtures themselves, in the
+// style of golang.org/x/tools/go/analysis/analysistest (re-implemented here on
+// the stdlib-only loader, since x/tools is not vendored).
+//
+// Fixture packages live under testdata/src/<name>. A line that should be
+// flagged carries a trailing comment of the form
+//
+//	expr // want "regexp"
+//
+// (several quoted regexps may follow one want). Each diagnostic the analyzer
+// reports must match a want on its line, and every want must be matched.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/asplos17/nr/internal/analysis"
+)
+
+// expectation is one `// want "re"` on one line of a fixture.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package dir under testdata/src and checks a's
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		check(t, pkg, name, diags)
+	}
+}
+
+func check(t *testing.T, pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		key := posKey(p.Filename, p.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, filepath.Base(p.Filename), p.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s matching %q", name, key, w.re)
+			}
+		}
+	}
+}
+
+func posKey(filename string, line int) string {
+	return filepath.Base(filename) + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// wantRE extracts the quoted regexps following a want keyword.
+var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every comment in the package for want expectations,
+// keyed by file:line of the comment.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				key := posKey(p.Filename, p.Line)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					// The want pattern is a Go string literal, so \\[ in
+					// source means the regexp \[.
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

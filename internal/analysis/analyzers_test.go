@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/asplos17/nr/internal/analysis"
+	"github.com/asplos17/nr/internal/analysis/analysistest"
+)
+
+func TestCachePad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CachePad, "cachepad")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix, "atomicmix")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoAlloc, "noalloc")
+}
+
+func TestSpinLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SpinLoop, "spinloop")
+}
+
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsGuard, "obsguard")
+}

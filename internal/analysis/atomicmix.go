@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AtomicMix enforces two rules NR's protocol words depend on:
+//
+//  1. No by-value copies of values whose type (transitively) contains a
+//     sync/atomic type. Copying a combining slot, a log entry, or a
+//     per-reader flag silently forks the synchronization word: the copy's
+//     state is dead, and code that "works" against it has lost the release/
+//     acquire edge the protocol builds on (§5.1, §5.2). Assignments,
+//     arguments, returns, range values, and composite-literal elements are
+//     all copy sites; unsafe.Sizeof/Alignof/Offsetof do not evaluate and
+//     are exempt.
+//
+//  2. No plain (non-atomic) reads or writes of a variable that is accessed
+//     through the sync/atomic function API (atomic.LoadUint64(&x), ...)
+//     anywhere in the package. Mixed plain/atomic access is a data race
+//     even when the plain side "only reads".
+//
+// Rule 2 is how the typed-atomics rule is kept honest: the repo uses
+// atomic.Uint32-style fields (whose unexported words cannot be touched
+// plainly), and this analyzer keeps function-style atomics from sneaking
+// back in half-converted.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid by-value copies of atomic-bearing structs and mixed plain/atomic access",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	c := &atomicMix{pass: pass, seen: make(map[types.Type]bool)}
+	c.collectAtomicVars()
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.checkCopies)
+	}
+	c.checkPlainAccess()
+	return nil
+}
+
+type atomicMix struct {
+	pass *Pass
+	seen map[types.Type]bool
+	// atomicVars maps variables (fields or package vars) passed by address
+	// to a sync/atomic function to one such call position.
+	atomicVars map[types.Object]token.Pos
+	// sanctioned are identifier nodes appearing inside an atomic call's
+	// arguments or under an address-of (the pointer may feed an atomic op).
+	sanctioned map[*ast.Ident]bool
+}
+
+// containsAtomic reports whether t transitively embeds a sync/atomic type
+// by value (not through pointers, slices, or maps — those share, not copy).
+func (c *atomicMix) containsAtomic(t types.Type) bool {
+	if done, ok := c.seen[t]; ok {
+		return done
+	}
+	c.seen[t] = false // cycle guard
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			result = true
+		} else {
+			result = c.containsAtomic(u.Underlying())
+		}
+	case *types.Alias:
+		result = c.containsAtomic(types.Unalias(u))
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsAtomic(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.containsAtomic(u.Elem())
+	}
+	c.seen[t] = result
+	return result
+}
+
+// copySource reports whether e reads an existing value (so assigning or
+// passing it copies that value). Fresh composite literals and call results
+// are not flagged at the use site.
+func copySource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return copySource(e.X)
+	}
+	return false
+}
+
+func (c *atomicMix) flagCopy(e ast.Expr, what string) {
+	t := c.pass.Info.Types[e].Type
+	if t == nil || !c.containsAtomic(t) || !copySource(e) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s copies %s, which contains sync/atomic types; use a pointer",
+		what, types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+}
+
+func (c *atomicMix) checkCopies(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for _, rhs := range n.Rhs {
+				c.flagCopy(rhs, "assignment")
+			}
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			c.flagCopy(v, "assignment")
+		}
+	case *ast.CallExpr:
+		if c.exemptCall(n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			c.flagCopy(arg, "argument")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.flagCopy(r, "return")
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil {
+			if t := c.pass.Info.TypeOf(n.Value); t != nil && c.containsAtomic(t) {
+				c.pass.Reportf(n.Value.Pos(),
+					"range value copies %s, which contains sync/atomic types; range over the index and take a pointer",
+					types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			c.flagCopy(elt, "composite literal")
+		}
+	}
+	return true
+}
+
+// exemptCall reports whether call's arguments are not really evaluated as
+// values: unsafe.* size operators and built-ins like len/cap.
+func (c *atomicMix) exemptCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := c.pass.Info.Uses[fun].(*types.Builtin); ok {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := c.pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported() == types.Unsafe {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// atomicFuncCall returns the called sync/atomic function name, or "".
+func (c *atomicMix) atomicFuncCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "" // a typed atomic's method, not the function API
+	}
+	return fn.Name()
+}
+
+// collectAtomicVars finds every variable passed by address to a sync/atomic
+// function, and sanctions identifier occurrences that are part of those
+// calls or of other address-of expressions.
+func (c *atomicMix) collectAtomicVars() {
+	c.atomicVars = make(map[types.Object]token.Pos)
+	c.sanctioned = make(map[*ast.Ident]bool)
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if c.atomicFuncCall(n) == "" {
+					return true
+				}
+				for _, arg := range n.Args {
+					c.sanction(arg)
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj := c.referredVar(un.X); obj != nil {
+						if _, dup := c.atomicVars[obj]; !dup {
+							c.atomicVars[obj] = n.Pos()
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					// The pointer may flow to an atomic op elsewhere; taking
+					// the address is not itself a plain access.
+					c.sanction(n.X)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *atomicMix) sanction(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			c.sanctioned[id] = true
+		}
+		return true
+	})
+}
+
+// referredVar resolves &x or &s.f to the variable being addressed.
+func (c *atomicMix) referredVar(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// checkPlainAccess flags unsanctioned references to atomically-accessed
+// variables.
+func (c *atomicMix) checkPlainAccess() {
+	if len(c.atomicVars) == 0 {
+		return
+	}
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || c.sanctioned[id] {
+				return true
+			}
+			obj := c.pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if atomicAt, hot := c.atomicVars[obj]; hot {
+				c.pass.Reportf(id.Pos(),
+					"plain access of %s, which is accessed atomically at %s; use sync/atomic consistently",
+					id.Name, relPosition(c.pass.Fset, atomicAt))
+			}
+			return true
+		})
+	}
+}
+
+// relPosition renders pos with the directory stripped, for stable messages.
+func relPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lineBytes is the cache-line size the paper's layout discipline targets
+// (§5.2 combining slots, §5.5 per-reader flags). All supported targets (the
+// paper's Intel testbed included) use 64-byte lines.
+const lineBytes = 64
+
+// CachePad verifies the //nr:cacheline layout annotations against the real
+// field offsets computed by go/types for this architecture:
+//
+//   - Two annotated fields of one struct must never land on the same
+//     64-byte cache line (the combining slot's state word vs its response
+//     word, the shared log's tail vs completedTail vs min).
+//   - A blank pad array written directly after an annotated field must
+//     still push the next real field onto a later cache line — the check
+//     that catches a hand-computed `_ [56]byte` drifting when a field is
+//     added or resized.
+//   - A struct-level annotation requires the struct size to be a multiple
+//     of 64, so elements of arrays/slices of it (per-reader flags, log
+//     entries) each own their line(s).
+//
+// Generic structs are checked at a representative instantiation with every
+// type parameter bound to int64 — exactly the layout the hand-computed pads
+// in core.slot and log.entry were sized for.
+var CachePad = &Analyzer{
+	Name: "cachepad",
+	Doc:  "check //nr:cacheline fields own distinct 64-byte cache lines and pads have not drifted",
+	Run:  runCachePad,
+}
+
+// annotatedField is one //nr:cacheline field resolved to its struct index.
+type annotatedField struct {
+	name string
+	pos  token.Pos
+	idx  int
+}
+
+func runCachePad(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					checkStructLayout(pass, ts, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkStructLayout(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	typeLevel := pass.Directives.TypeHas(ts, "cacheline")
+	var annotated []annotatedField
+	idx := 0
+	for _, field := range st.Fields.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // embedded field occupies one struct slot
+		}
+		if pass.Directives.FieldHas(field, "cacheline") {
+			for k := 0; k < names; k++ {
+				name := "embedded " + types.ExprString(field.Type)
+				if len(field.Names) > 0 {
+					name = field.Names[k].Name
+				}
+				annotated = append(annotated, annotatedField{name: name, pos: field.Pos(), idx: idx + k})
+			}
+		}
+		idx += names
+	}
+	if !typeLevel && len(annotated) == 0 {
+		return
+	}
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	structT, generic, err := representativeStruct(named)
+	if err != nil {
+		// A representative instantiation may be impossible (e.g. an exotic
+		// constraint); the layout then depends on the instantiation and is
+		// out of static reach. Not an error: just unchecked.
+		return
+	}
+	if structT.NumFields() != idx {
+		return // field mapping out of sync; bail rather than misreport
+	}
+	fields := make([]*types.Var, structT.NumFields())
+	for i := range fields {
+		fields[i] = structT.Field(i)
+	}
+	offsets := pass.Sizes.Offsetsof(fields)
+	size := pass.Sizes.Sizeof(structT)
+	suffix := ""
+	if generic {
+		suffix = " (representative instantiation: type parameters bound to int64)"
+	}
+
+	// Pairwise: annotated fields must occupy distinct cache lines.
+	for i := 0; i < len(annotated); i++ {
+		for j := i + 1; j < len(annotated); j++ {
+			a, b := annotated[i], annotated[j]
+			if offsets[a.idx]/lineBytes == offsets[b.idx]/lineBytes {
+				pass.Reportf(b.pos,
+					"field %s (offset %d) shares 64-byte cache line %d with //nr:cacheline field %s (offset %d)%s",
+					b.name, offsets[b.idx], offsets[b.idx]/lineBytes, a.name, offsets[a.idx], suffix)
+			}
+		}
+	}
+
+	// Pad drift: a blank byte-array pad right after an annotated field must
+	// still push the next real field onto a later line.
+	for _, a := range annotated {
+		padIdx := a.idx + 1
+		if padIdx >= len(fields) || !isBytePad(fields[padIdx]) {
+			continue
+		}
+		next := padIdx
+		for next < len(fields) && isBytePad(fields[next]) {
+			next++
+		}
+		if next == len(fields) {
+			continue // trailing pad; covered by the size check when annotated
+		}
+		if offsets[next]/lineBytes == offsets[a.idx]/lineBytes {
+			pass.Reportf(a.pos,
+				"pad after field %s has drifted: next field %s (offset %d) is back on cache line %d; recompute the pad%s",
+				a.name, fields[next].Name(), offsets[next], offsets[a.idx]/lineBytes, suffix)
+		}
+	}
+
+	if typeLevel && size%lineBytes != 0 {
+		msg := fmt.Sprintf("struct %s is %d bytes, not a multiple of 64: array/slice elements will share cache lines%s",
+			ts.Name.Name, size, suffix)
+		if n := len(fields); n > 0 && isBytePad(fields[n-1]) {
+			padLen := pass.Sizes.Sizeof(fields[n-1].Type())
+			msg += fmt.Sprintf(" (trailing pad should be [%d]byte)", padLen+(lineBytes-size%lineBytes))
+		}
+		pass.Reportf(ts.Name.Pos(), "%s", msg)
+	}
+}
+
+// representativeStruct returns the struct layout to check: the underlying
+// struct directly, or — for a generic type — the underlying struct of an
+// instantiation with every type parameter bound to int64.
+func representativeStruct(named *types.Named) (*types.Struct, bool, error) {
+	tparams := named.TypeParams()
+	if tparams.Len() == 0 {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return nil, false, fmt.Errorf("not a struct")
+		}
+		return st, false, nil
+	}
+	targs := make([]types.Type, tparams.Len())
+	for i := range targs {
+		targs[i] = types.Typ[types.Int64]
+	}
+	inst, err := types.Instantiate(nil, named, targs, false)
+	if err != nil {
+		return nil, true, err
+	}
+	st, ok := inst.Underlying().(*types.Struct)
+	if !ok {
+		return nil, true, fmt.Errorf("not a struct")
+	}
+	return st, true, nil
+}
+
+// isBytePad reports whether v is a blank pad of byte-array (under)type,
+// e.g. `_ [56]byte` or `_ cacheLine` where cacheLine = [64]byte.
+func isBytePad(v *types.Var) bool {
+	if v.Name() != "_" {
+		return false
+	}
+	arr, ok := v.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,189 @@
+package analysis
+
+// //nr: directive grammar (see DESIGN.md §10):
+//
+//	//nr:cacheline            on a struct field: the field must not share a
+//	                          64-byte cache line with any other annotated
+//	                          field of the same struct, and an explicit blank
+//	                          pad following it must keep the next field on a
+//	                          later line. On a struct type declaration: the
+//	                          struct's size must be a multiple of 64 so
+//	                          array/slice elements never share a line.
+//	//nr:noalloc              on a function: the body must contain no
+//	                          statically-detectable allocation site.
+//	//nr:spin                 on a function: busy-wait loops must yield on
+//	                          every path (runtime.Gosched / time.Sleep /
+//	                          channel op) and infinite loops in methods of
+//	                          stop-channel-owning types must check stop.
+//	//nr:nilguard             on a func-typed struct field: calls through the
+//	                          field must be dominated by a nil check.
+//	//nr:allocok              on a line (same line or the line above a
+//	                          statement): suppresses noalloc for that site.
+//	//nr:guarded              on a line: suppresses obsguard for that site.
+//
+// Like //go:build, a directive is only recognized with no space after the
+// slashes, so prose mentioning "nr:cacheline" never annotates anything.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //nr: annotation.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "cacheline", "noalloc", ...
+	Args string // remainder after the name, trimmed
+}
+
+// Directives indexes a package's //nr: annotations by the declaration they
+// are attached to, plus a by-line index for site suppressions.
+type Directives struct {
+	funcs  map[*ast.FuncDecl][]Directive
+	types  map[*ast.TypeSpec][]Directive
+	fields map[*ast.Field][]Directive
+	// lines maps filename -> line -> directive names appearing on that line.
+	lines map[string]map[int][]string
+	fset  *token.FileSet
+}
+
+// parseDirective decodes one comment, reporting ok=false for non-directives.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	rest, ok := strings.CutPrefix(c.Text, "//nr:")
+	if !ok {
+		return Directive{}, false
+	}
+	name, args, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)}, true
+}
+
+func groupDirectives(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// CollectDirectives parses every //nr: annotation in files. Attachment
+// follows doc/line comments: a directive in a FuncDecl doc annotates the
+// function; in a TypeSpec doc (or the enclosing single-spec GenDecl doc) it
+// annotates the type; in a struct field's doc or trailing line comment it
+// annotates the field (including embedded fields, which have no names).
+func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	ds := &Directives{
+		funcs:  make(map[*ast.FuncDecl][]Directive),
+		types:  make(map[*ast.TypeSpec][]Directive),
+		fields: make(map[*ast.Field][]Directive),
+		lines:  make(map[string]map[int][]string),
+		fset:   fset,
+	}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ds.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					ds.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d.Name)
+			}
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if dirs := groupDirectives(decl.Doc); len(dirs) > 0 {
+					ds.funcs[decl] = dirs
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+					if len(decl.Specs) == 1 {
+						groups = append(groups, decl.Doc)
+					}
+					if dirs := groupDirectives(groups...); len(dirs) > 0 {
+						ds.types[ts] = dirs
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || st.Fields == nil {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if dirs := groupDirectives(field.Doc, field.Comment); len(dirs) > 0 {
+							ds.fields[field] = dirs
+						}
+					}
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// has reports whether dirs contains a directive named name.
+func has(dirs []Directive, name string) bool {
+	for _, d := range dirs {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether fn carries the named directive.
+func (ds *Directives) FuncHas(fn *ast.FuncDecl, name string) bool {
+	return has(ds.funcs[fn], name)
+}
+
+// TypeHas reports whether ts carries the named directive.
+func (ds *Directives) TypeHas(ts *ast.TypeSpec, name string) bool {
+	return has(ds.types[ts], name)
+}
+
+// FieldHas reports whether field carries the named directive.
+func (ds *Directives) FieldHas(field *ast.Field, name string) bool {
+	return has(ds.fields[field], name)
+}
+
+// LineHas reports whether the named directive appears on the line of pos or
+// the line immediately above it — the two places a site suppression like
+// //nr:allocok may be written.
+func (ds *Directives) LineHas(pos token.Pos, name string) bool {
+	p := ds.fset.Position(pos)
+	byLine := ds.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, n := range byLine[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up to the module root so load tests can target the real
+// packages the linter dogfoods on.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestLoadCorePackage loads the heart of the protocol — a generic package
+// with module-internal imports — and sanity-checks the type information the
+// analyzers depend on.
+func TestLoadCorePackage(t *testing.T) {
+	l := NewLoader()
+	pkg, err := l.LoadDir(filepath.Join(repoRoot(t), "internal", "core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "core" {
+		t.Fatalf("package name = %q, want core", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("Instance") == nil {
+		t.Fatal("type Instance not found in loaded package")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Fatal("type info tables are empty")
+	}
+}
+
+// TestLoadBuildTaggedPackage loads internal/trace, whose word type is split
+// across build-tagged files (word_race.go / word_norace.go). The loader must
+// pick exactly one per the active build config, or the package would fail to
+// type-check with a duplicate (or missing) declaration.
+func TestLoadBuildTaggedPackage(t *testing.T) {
+	l := NewLoader()
+	pkg, err := l.LoadDir(filepath.Join(repoRoot(t), "internal", "trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("word") == nil {
+		t.Fatal("build-tagged type word not resolved")
+	}
+}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc checks that functions annotated //nr:noalloc contain no
+// statically-detectable allocation site. The combining round, the read hot
+// path, the reader-writer lock, and the flight recorder are all specified as
+// zero-allocation in steady state (§5.2, §5.5; trace package doc) — one
+// stray fmt call or escaping closure turns a lock-held critical section into
+// a GC participant and shows up directly in the paper's throughput story.
+//
+// Flagged sites: closures that may escape (a func literal is allowed when it
+// is immediately invoked, deferred, or assigned to a local that is only ever
+// called), make/new, map and slice composite literals, &composite{},
+// append, go statements, string concatenation, string<->[]byte/[]rune
+// conversions, calls into fmt/errors/strings/strconv, and implicit interface
+// boxing of non-pointer values (conversions, assignments, arguments,
+// returns).
+//
+// The check is local: it does not chase allocations inside callees. A site
+// that is provably fine (append into a preallocated scratch buffer, an
+// allocation on a cold failure path) is silenced with //nr:allocok on the
+// same line or the line above.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "check //nr:noalloc functions contain no statically-detectable allocation site",
+	Run:  runNoAlloc,
+}
+
+// allocPackages are stdlib packages whose exported functions allocate as a
+// matter of course.
+var allocPackages = map[string]bool{
+	"fmt": true, "errors": true, "strings": true, "strconv": true,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Directives.FuncHas(fn, "noalloc") {
+				continue
+			}
+			na := &noAlloc{pass: pass, fn: fn, calledLits: make(map[*ast.FuncLit]bool)}
+			na.markSafeLiterals()
+			na.check()
+		}
+	}
+	return nil
+}
+
+type noAlloc struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	// calledLits are func literals that never escape: immediately invoked,
+	// deferred, or bound to a local used only in call position.
+	calledLits map[*ast.FuncLit]bool
+}
+
+func (na *noAlloc) flag(n ast.Node, format string, args ...any) {
+	if na.pass.Directives.LineHas(n.Pos(), "allocok") {
+		return
+	}
+	na.pass.Reportf(n.Pos(), format, args...)
+}
+
+// markSafeLiterals finds func literals that do not escape the function.
+func (na *noAlloc) markSafeLiterals() {
+	ast.Inspect(na.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				na.calledLits[lit] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				na.calledLits[lit] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 || n.Tok != token.DEFINE {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(n.Rhs[0]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if obj := na.pass.Info.Defs[id]; obj != nil && na.onlyCalled(obj) {
+				na.calledLits[lit] = true
+			}
+		}
+		return true
+	})
+}
+
+// onlyCalled reports whether every use of obj in the function is as the
+// callee of a call expression — the compiler keeps such closures on the
+// stack.
+func (na *noAlloc) onlyCalled(obj types.Object) bool {
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(na.fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent && na.pass.Info.Uses[id] == obj {
+			call, isCall := stack[len(stack)-1].(*ast.CallExpr)
+			if !isCall || ast.Unparen(call.Fun) != id {
+				ok = false
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return ok
+}
+
+func (na *noAlloc) check() {
+	info := na.pass.Info
+	ast.Inspect(na.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			na.flag(n, "go statement in //nr:noalloc function allocates a goroutine")
+		case *ast.FuncLit:
+			if !na.calledLits[n] {
+				na.flag(n, "closure in //nr:noalloc function may escape and allocate")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					na.flag(n, "&composite literal in //nr:noalloc function allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				na.flag(n, "map literal in //nr:noalloc function allocates")
+			case *types.Slice:
+				na.flag(n, "slice literal in //nr:noalloc function allocates")
+			}
+		case *ast.BinaryExpr:
+			na.checkConcat(n)
+		case *ast.CallExpr:
+			na.checkCall(n)
+		case *ast.AssignStmt:
+			na.checkAssignBoxing(n)
+		case *ast.ReturnStmt:
+			na.checkReturnBoxing(n)
+		}
+		return true
+	})
+}
+
+func (na *noAlloc) checkConcat(n *ast.BinaryExpr) {
+	if n.Op != token.ADD {
+		return
+	}
+	tv := na.pass.Info.Types[n]
+	if tv.Value != nil { // constant-folded
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		na.flag(n, "string concatenation in //nr:noalloc function allocates")
+	}
+}
+
+func (na *noAlloc) checkCall(call *ast.CallExpr) {
+	info := na.pass.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions: string <-> []byte / []rune copy.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		na.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				na.flag(call, "make in //nr:noalloc function allocates")
+			case "new":
+				na.flag(call, "new in //nr:noalloc function allocates")
+			case "append":
+				na.flag(call, "append in //nr:noalloc function may allocate; preallocate capacity and annotate //nr:allocok if guaranteed")
+			}
+			return
+		}
+	}
+
+	// Calls into always-allocating stdlib packages.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && allocPackages[fn.Pkg().Path()] {
+			na.flag(call, "call to %s.%s in //nr:noalloc function allocates", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			paramT = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			paramT = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		na.checkBoxing(arg, paramT, "argument")
+	}
+}
+
+func (na *noAlloc) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := na.pass.Info.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	if isString(to) && isByteOrRuneSlice(from) || isString(from) && isByteOrRuneSlice(to) {
+		na.flag(call, "string/[]byte conversion in //nr:noalloc function allocates")
+		return
+	}
+	na.checkBoxing(call.Args[0], to, "conversion")
+}
+
+func (na *noAlloc) checkAssignBoxing(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt := na.pass.Info.Types[lhs].Type
+		if lt == nil {
+			continue
+		}
+		na.checkBoxing(n.Rhs[i], lt, "assignment")
+	}
+}
+
+func (na *noAlloc) checkReturnBoxing(n *ast.ReturnStmt) {
+	sig, ok := na.pass.Info.Defs[na.fn.Name].Type().(*types.Signature)
+	if !ok || len(n.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range n.Results {
+		na.checkBoxing(res, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// checkBoxing flags expr when assigning it to target boxes a non-pointer
+// value into an interface (one heap allocation per event on a hot path).
+func (na *noAlloc) checkBoxing(expr ast.Expr, target types.Type, what string) {
+	if target == nil {
+		return
+	}
+	if _, isTP := target.(*types.TypeParam); isTP {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv := na.pass.Info.Types[expr]
+	from := tv.Type
+	if from == nil || types.Identical(from, target) {
+		return
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, fromTP := from.(*types.TypeParam); !fromTP {
+		if _, isIface := from.Underlying().(*types.Interface); isIface {
+			return // interface-to-interface carries the same word
+		}
+		if pointerShaped(from) {
+			return // the value fits the interface data word
+		}
+	}
+	na.flag(expr, "%s boxes %s into %s in //nr:noalloc function",
+		what, types.TypeString(from, types.RelativeTo(na.pass.Pkg)), types.TypeString(target, types.RelativeTo(na.pass.Pkg)))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t occupy one pointer word, so
+// interface conversion stores them directly without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard checks that every call through a possibly-nil observation hook is
+// dominated by a nil check. Two call shapes are guarded:
+//
+//   - Method calls on a value of the obs.Observer interface type. The hot
+//     paths in internal/core hold the observer as a plain interface field
+//     that is nil unless WithObserver was supplied; calling a method on it
+//     unguarded panics the combiner for every replica on the node.
+//   - Calls through struct fields annotated //nr:nilguard (function-typed
+//     optional hooks like rwlock's onWriterWait).
+//
+// "Dominated" is computed over the AST with a fact set of expressions proven
+// non-nil on the current path: `if x != nil { ... }` bodies, the code after
+// an `if x == nil { return }` early exit, && chains, and the idiomatic
+// `if o := i.observer; o != nil { o.M() }` scoped guard all establish facts;
+// assignments invalidate them; closures inherit the facts live at their
+// creation point. A call the analysis cannot see a guard for but that is
+// safe for out-of-band reasons is silenced with //nr:guarded on its line or
+// the line above.
+//
+// The package that defines the observer types is skipped: obs composes
+// observers that are non-nil by construction (Multi, Combine).
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "check observer and //nr:nilguard hook calls are dominated by nil checks",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return nil
+	}
+	g := &obsGuard{pass: pass, nilguard: make(map[types.Object]bool)}
+	g.collectNilguardFields()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				g.block(fn.Body.List, facts{})
+			}
+		}
+	}
+	return nil
+}
+
+// facts maps flattened expression keys (see flatten) proven non-nil on the
+// current path.
+type facts map[string]bool
+
+func union(a, b facts) facts {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(facts, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+type obsGuard struct {
+	pass *Pass
+	// nilguard holds the field objects annotated //nr:nilguard.
+	nilguard map[types.Object]bool
+}
+
+// collectNilguardFields resolves //nr:nilguard annotations to field objects.
+func (g *obsGuard) collectNilguardFields() {
+	for _, f := range g.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !g.pass.Directives.FieldHas(field, "nilguard") {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := g.pass.Info.Defs[name]; obj != nil {
+						g.nilguard[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// block runs the fact walker over a statement list, returning the facts that
+// hold after it (early-return guards add facts mid-list).
+func (g *obsGuard) block(stmts []ast.Stmt, f facts) facts {
+	for _, st := range stmts {
+		f = g.stmt(st, f)
+	}
+	return f
+}
+
+func (g *obsGuard) stmt(st ast.Stmt, f facts) facts {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		g.expr(st.X, f)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			f = g.stmt(st.Init, f)
+		}
+		g.expr(st.Cond, f)
+		pos, neg := g.condFacts(st.Cond)
+		g.block(st.Body.List, union(f, pos))
+		if st.Else != nil {
+			g.stmt(st.Else, union(f, neg))
+		}
+		// If one branch cannot fall through, the other branch's facts hold
+		// for the rest of the enclosing block (the early-return guard).
+		if terminates(st.Body.List) {
+			f = union(f, neg)
+		}
+		if eb, ok := st.Else.(*ast.BlockStmt); ok && terminates(eb.List) {
+			f = union(f, pos)
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			g.expr(r, f)
+		}
+		for _, lhs := range st.Lhs {
+			if key := g.flatten(lhs); key != "" {
+				f = invalidate(f, key)
+			}
+		}
+	case *ast.BlockStmt:
+		g.block(st.List, f)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			g.expr(r, f)
+		}
+	case *ast.DeferStmt:
+		g.expr(st.Call, f)
+	case *ast.GoStmt:
+		g.expr(st.Call, f)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			f = g.stmt(st.Init, f)
+		}
+		// Facts invalidated anywhere in the body do not survive the back
+		// edge, so drop them before analyzing the body at all.
+		lf := g.dropAssigned(f, st.Body)
+		if st.Cond != nil {
+			g.expr(st.Cond, lf)
+			pos, _ := g.condFacts(st.Cond)
+			lf = union(lf, pos)
+		}
+		g.block(st.Body.List, lf)
+		if st.Post != nil {
+			g.stmt(st.Post, lf)
+		}
+	case *ast.RangeStmt:
+		g.expr(st.X, f)
+		g.block(st.Body.List, g.dropAssigned(f, st.Body))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			f = g.stmt(st.Init, f)
+		}
+		if st.Tag != nil {
+			g.expr(st.Tag, f)
+		}
+		for _, c := range st.Body.List {
+			g.block(c.(*ast.CaseClause).Body, f)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			f = g.stmt(st.Init, f)
+		}
+		for _, c := range st.Body.List {
+			g.block(c.(*ast.CaseClause).Body, f)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			cf := f
+			if cc.Comm != nil {
+				cf = g.stmt(cc.Comm, f)
+			}
+			g.block(cc.Body, cf)
+		}
+	case *ast.LabeledStmt:
+		f = g.stmt(st.Stmt, f)
+	case *ast.SendStmt:
+		g.expr(st.Chan, f)
+		g.expr(st.Value, f)
+	case *ast.IncDecStmt:
+		g.expr(st.X, f)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						g.expr(v, f)
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// expr checks every call inside e against the current facts. Closures are
+// analyzed with the facts live at their creation point.
+func (g *obsGuard) expr(e ast.Expr, f facts) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.block(n.Body.List, f)
+			return false
+		case *ast.CallExpr:
+			g.checkCall(n, f)
+		}
+		return true
+	})
+}
+
+func (g *obsGuard) checkCall(call *ast.CallExpr, f facts) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := g.pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	var key, what string
+	switch selection.Kind() {
+	case types.MethodVal:
+		if !isObserverIface(g.pass.Info.Types[sel.X].Type) {
+			return
+		}
+		key, what = g.flatten(sel.X), "observer "+types.ExprString(sel.X)
+	case types.FieldVal:
+		if !g.nilguard[selection.Obj()] {
+			return
+		}
+		key, what = g.flatten(sel), "//nr:nilguard hook "+types.ExprString(sel)
+	default:
+		return
+	}
+	if key == "" || f[key] {
+		return
+	}
+	if g.pass.Directives.LineHas(call.Pos(), "guarded") {
+		return
+	}
+	g.pass.Reportf(call.Pos(),
+		"call through possibly-nil %s is not dominated by a nil check; guard it (or annotate //nr:guarded)", what)
+}
+
+// condFacts returns the fact sets established when cond evaluates true (pos)
+// and false (neg).
+func (g *obsGuard) condFacts(cond ast.Expr) (pos, neg facts) {
+	pos, neg = facts{}, facts{}
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ:
+			if key := g.nilCompare(e); key != "" {
+				pos[key] = true
+			}
+		case token.EQL:
+			if key := g.nilCompare(e); key != "" {
+				neg[key] = true
+			}
+		case token.LAND:
+			// Both operands are true when the conjunction is; nothing is
+			// known when it is false.
+			p1, _ := g.condFacts(e.X)
+			p2, _ := g.condFacts(e.Y)
+			pos = union(p1, p2)
+		case token.LOR:
+			_, n1 := g.condFacts(e.X)
+			_, n2 := g.condFacts(e.Y)
+			neg = union(n1, n2)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			p, n := g.condFacts(e.X)
+			return n, p
+		}
+	}
+	return pos, neg
+}
+
+// nilCompare returns the flattened key of the non-nil side of a comparison
+// against nil, or "".
+func (g *obsGuard) nilCompare(e *ast.BinaryExpr) string {
+	if g.isNil(e.Y) {
+		return g.flatten(e.X)
+	}
+	if g.isNil(e.X) {
+		return g.flatten(e.Y)
+	}
+	return ""
+}
+
+func (g *obsGuard) isNil(e ast.Expr) bool {
+	tv, ok := g.pass.Info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// flatten renders an expression as a stable fact key: identifiers by their
+// resolved object, selectors by appending field names. Expressions the
+// analysis cannot key (calls, index expressions) flatten to "".
+func (g *obsGuard) flatten(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := g.pass.Info.Uses[e]
+		if obj == nil {
+			obj = g.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("v%p", obj)
+	case *ast.SelectorExpr:
+		base := g.flatten(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// invalidate removes key and anything reached through it (key's fields).
+func invalidate(f facts, key string) facts {
+	out := make(facts, len(f))
+	for k := range f {
+		if k == key || strings.HasPrefix(k, key+".") {
+			continue
+		}
+		out[k] = true
+	}
+	return out
+}
+
+// dropAssigned removes facts whose key is assigned anywhere under n (they
+// would not survive a loop's back edge).
+func (g *obsGuard) dropAssigned(f facts, n ast.Node) facts {
+	out := f
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if key := g.flatten(lhs); key != "" {
+					out = invalidate(out, key)
+				}
+			}
+		case *ast.IncDecStmt:
+			if key := g.flatten(n.X); key != "" {
+				out = invalidate(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// terminates reports whether a statement list cannot fall off its end —
+// enough for the early-return guard idiom (return/break/continue/panic
+// last).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// isObserverIface reports whether t is the obs package's Observer interface.
+func isObserverIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Observer" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

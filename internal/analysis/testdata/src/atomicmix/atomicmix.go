@@ -1,0 +1,53 @@
+// Package atomicmix holds fixtures for the atomicmix analyzer: by-value
+// copies of atomic-bearing structs and mixed plain/atomic word access.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n atomic.Int64
+}
+
+// holder embeds counter by value, so copying a holder copies the atomic too.
+type holder struct {
+	c counter
+}
+
+func use(counter) {}
+
+func copies(c *counter) counter {
+	x := *c   // want "assignment copies counter"
+	use(x)    // want "argument copies counter"
+	return *c // want "return copies counter"
+}
+
+var global = counter{}
+
+var leaked = global // want "assignment copies counter"
+
+func ranges(hs []holder) int64 {
+	var total int64
+	for _, h := range hs { // want "range value copies holder"
+		total += h.c.n.Load()
+	}
+	return total
+}
+
+func okPointerUses(c *counter) int64 {
+	p := c // copying the pointer shares the atomic; fine
+	size := int(unsafeSizeof(c))
+	return p.n.Load() + int64(size)
+}
+
+func unsafeSizeof(*counter) uintptr { return 8 }
+
+var word uint64
+
+func mixed() uint64 {
+	atomic.AddUint64(&word, 1)
+	return word // want "plain access of word"
+}
+
+func alsoAtomic() uint64 {
+	return atomic.LoadUint64(&word) // consistent access; fine
+}

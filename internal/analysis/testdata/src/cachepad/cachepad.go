@@ -1,0 +1,91 @@
+// Package cachepad holds layout fixtures for the cachepad analyzer:
+// deliberately broken copies of core.slot and rwlock.padded next to faithful
+// ones, plus generic and embedded-field variants.
+package cachepad
+
+import "sync/atomic"
+
+// goodSlot mirrors core.slot's real layout (type parameters at int64 width):
+// state ends line 0, the 56-byte pad pushes resp onto line 1.
+type goodSlot struct {
+	op  int64
+	seq uint32
+	//nr:cacheline
+	state atomic.Uint32
+	_     [56]byte
+	//nr:cacheline
+	resp int64
+	err  error
+}
+
+// brokenSlot is the drifted copy: the pad was hand-shrunk (as if a field
+// were removed without recomputing it), so resp lands back on state's line.
+type brokenSlot struct {
+	op  int64
+	seq uint32
+	//nr:cacheline
+	state atomic.Uint32 // want "pad after field state has drifted"
+	_     [40]byte
+	//nr:cacheline
+	resp int64 // want "shares 64-byte cache line 0 with //nr:cacheline field state"
+	err  error
+}
+
+// goodPadded mirrors rwlock.padded: 4 + 60 = one full line.
+//
+//nr:cacheline
+type goodPadded struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// brokenPadded is the broken copy: the pad no longer rounds the struct to a
+// line multiple, so per-reader slots in a slice would share lines.
+//
+//nr:cacheline
+type brokenPadded struct { // want "struct brokenPadded is 40 bytes, not a multiple of 64"
+	v atomic.Int32
+	_ [36]byte
+}
+
+// genSlot checks that generic structs are laid out at the representative
+// int64 instantiation; this one is correct.
+type genSlot[O, R any] struct {
+	op  O
+	seq uint32
+	//nr:cacheline
+	state atomic.Uint32
+	_     [56]byte
+	//nr:cacheline
+	resp R
+	err  error
+}
+
+// genBroken has no pad at all between its annotated fields.
+type genBroken[O any] struct {
+	//nr:cacheline
+	a atomic.Uint32
+	//nr:cacheline
+	b O // want "shares 64-byte cache line 0 with //nr:cacheline field a"
+}
+
+type inner struct{ x int64 }
+
+// embeds annotates an embedded field; the analyzer must map it to its single
+// struct slot rather than panic or mis-index the fields after it.
+type embeds struct {
+	//nr:cacheline
+	inner
+	//nr:cacheline
+	y int64 // want "shares 64-byte cache line 0 with //nr:cacheline field embedded inner"
+}
+
+var (
+	_ = goodSlot{}
+	_ = brokenSlot{}
+	_ = goodPadded{}
+	_ = brokenPadded{}
+	_ = genSlot[int64, int64]{}
+	_ = genBroken[int64]{}
+	_ = embeds{}
+)

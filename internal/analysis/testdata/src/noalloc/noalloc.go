@@ -1,0 +1,79 @@
+// Package noalloc holds fixtures for the noalloc analyzer: every flagged
+// allocation shape, the non-escaping-closure allowance, and the //nr:allocok
+// escape hatch.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func bg() {}
+
+//nr:noalloc
+func allocs(n int, s string) string {
+	b := make([]byte, n) // want "make in //nr:noalloc function allocates"
+	_ = b
+	m := map[string]int{} // want "map literal in //nr:noalloc function allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal in //nr:noalloc function allocates"
+	_ = sl
+	p := new(int) // want "new in //nr:noalloc function allocates"
+	_ = p
+	e := &point{} // want "&composite literal in //nr:noalloc function allocates"
+	_ = e
+	go bg()        // want "go statement in //nr:noalloc function allocates a goroutine"
+	return s + "!" // want "string concatenation in //nr:noalloc function allocates"
+}
+
+//nr:noalloc
+func badFmt(err error) {
+	fmt.Println(err) // want "call to fmt.Println in //nr:noalloc function allocates"
+}
+
+//nr:noalloc
+func badConvert(b []byte) string {
+	return string(b) // want "string/\\[\\]byte conversion in //nr:noalloc function allocates"
+}
+
+var sink func()
+
+//nr:noalloc
+func escapes() {
+	f := func() {} // want "closure in //nr:noalloc function may escape and allocate"
+	sink = f
+}
+
+//nr:noalloc
+func localClosure(n int) int {
+	f := func() int { return n } // only ever called: stays on the stack
+	defer func() {}()
+	return f() + f()
+}
+
+func take(any) {}
+
+//nr:noalloc
+func boxes(n int) any {
+	take(n)  // want "argument boxes int into any in //nr:noalloc function"
+	return n // want "return boxes int into any in //nr:noalloc function"
+}
+
+//nr:noalloc
+func okPointerBox(p *point) any {
+	return p // pointer-shaped: fits the interface word, no allocation
+}
+
+//nr:noalloc
+func okAllocOK(buf []byte, n byte) []byte {
+	return append(buf, n) //nr:allocok — caller guarantees capacity
+}
+
+//nr:noalloc
+func okAllocOKAbove(buf []byte, n byte) []byte {
+	//nr:allocok — caller guarantees capacity
+	return append(buf, n)
+}
+
+func unannotated() []int {
+	return append([]int{}, 1) // no directive, no checks
+}

@@ -170,11 +170,16 @@ type slot[O, R any] struct {
 	// seq is the submitting handle's per-op sequence number, written with
 	// the op and published by the same release store on state; the combiner
 	// reads it to stamp its trace events with the op's token.
-	seq   uint32
+	seq uint32
+	// state is the protocol word; resp returns the outcome. Each must own
+	// its cache line (checked by nrlint's cachepad against real offsets).
+	//
+	//nr:cacheline
 	state atomic.Uint32
 	_     [56]byte
-	resp  R
-	err   error
+	//nr:cacheline
+	resp R
+	err  error
 }
 
 // entry is what NR stores in the shared log: the operation plus response
@@ -634,6 +639,8 @@ func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
 // panic containment, so a poisonous op advances localTail like any other —
 // and, if the entry originated on r's node with a response slot, delivers
 // the outcome (value or error).
+//
+//nr:noalloc
 func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ring *trace.Ring) {
 	res, err := i.safeExecute(r, e.op, idx)
 	// Per-entry trace events are recorded only for the replay that DELIVERS
@@ -660,6 +667,8 @@ func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ri
 // refreshTo replays filled log entries into the replica up to 'to',
 // stopping early at a hole — a reader may proceed when it finds an empty
 // entry (§5.3). Caller holds r's write-side lock.
+//
+//nr:noalloc
 func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64, ring *trace.Ring) {
 	for idx := r.localTail.Load(); idx < to; idx++ {
 		e, ok := i.log.Get(idx)
@@ -673,6 +682,8 @@ func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64, ring *trace.Ring
 
 // waitGet fetches the entry at idx, recording a hole-wait event (with the
 // spin count) when the entry was reserved but not yet filled.
+//
+//nr:noalloc
 func (i *Instance[O, R]) waitGet(node int, idx uint64, ring *trace.Ring) entry[O] {
 	if ring == nil {
 		return i.log.WaitGet(idx)
@@ -686,6 +697,9 @@ func (i *Instance[O, R]) waitGet(node int, idx uint64, ring *trace.Ring) entry[O
 
 // combine is Algorithm 1's Combine: post the op, then either become the
 // combiner or wait for a response (a value or a contained panic).
+//
+//nr:noalloc
+//nr:spin
 func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
@@ -721,6 +735,9 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 // ring (the combining thread's own ring — combiner events land on the
 // combiner's timeline, joined to each op by token). The caller holds the
 // combiner lock; under ablation #3 that lock doubles as the replica lock.
+//
+//nr:noalloc
+//nr:spin
 func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 	o := i.observer
 	var began time.Time
@@ -742,7 +759,8 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 		for idx := range r.slots {
 			s := &r.slots[idx]
 			if s.state.Load() == slotPosted && s.state.CompareAndSwap(slotPosted, slotTaken) {
-				batch = append(batch, takenSlot[O, R]{s, int32(idx)})
+				batch = append(batch, takenSlot[O, R]{s, int32(idx)}) //nr:allocok scratch cap = slot count
+
 				ring.RecordAt(t0, trace.KPickup, int(r.id), trace.Token(int(r.id), idx, s.seq), 0)
 			}
 		}
@@ -846,6 +864,9 @@ const uncombinedDeliveryWait = 2 * time.Second
 // its own single-entry batch. The response arrives through the entry's
 // (node, slot) tag: either our own replay below delivers it, or a same-node
 // thread that replayed past our entry first already has.
+//
+//nr:noalloc
+//nr:spin
 func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
@@ -877,6 +898,7 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 		deadline := time.Now().Add(uncombinedDeliveryWait)
 		for s.state.Load() != slotDone {
 			if time.Now().After(deadline) {
+				//nr:allocok broken-invariant path; the handle retires
 				h.broken = fmt.Errorf(
 					"%w: entry %d (node %d slot %d) not delivered after %v; handle retired",
 					ErrResponseLost, start, h.node, h.slot, uncombinedDeliveryWait)
@@ -908,6 +930,9 @@ func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLoc
 // localTail to advance, including replicas on nodes whose threads are
 // currently inactive (§6). So a blocked appender (1) drains the log into its
 // own replica and (2) helps lagging replicas catch up to completedTail.
+//
+//nr:noalloc
+//nr:spin
 func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool, ring *trace.Ring) uint64 {
 	o := i.observer
 	reported := false
@@ -957,6 +982,9 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 // is attempted through the structure's FakeUpdater.TryReadOnly instead of
 // Execute (§6), and done reports whether that resolved it. The body avoids
 // closures so the read hot path does not allocate.
+//
+//nr:noalloc
+//nr:spin
 func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
 	i.readOps.Add(1)
 	r := i.replicas[h.node]

@@ -195,6 +195,8 @@ func (i *Instance[O, R]) poisonedErr() error {
 // safeExecute runs e.op against r's structure with panic containment. idx is
 // the absolute log index (noIndex for unlogged ops). The returned error is
 // nil or a *PanicError.
+//
+//nr:noalloc
 func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R, err error) {
 	defer func() {
 		p := recover()
@@ -210,8 +212,9 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 		if o := i.observer; o != nil {
 			o.PanicContained(int(r.id), idx)
 		}
-		pe := &PanicError{Value: p, Stack: string(debug.Stack()), Index: idx}
+		pe := &PanicError{Value: p, Stack: string(debug.Stack()), Index: idx} //nr:allocok contained-panic path
 		if idx != noIndex {
+			//nr:allocok contained-panic path
 			if reason := i.tracker.recordPanic(r.id, idx, fmt.Sprint(p), i.log.MinLocalTail()); reason != "" {
 				i.poison(reason)
 			}
@@ -228,6 +231,8 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 // panic containment; the replica lock held by the caller is released
 // normally on the contained path. A panic reports done=true so the caller
 // does not retry the operation on the update path.
+//
+//nr:noalloc
 func (i *Instance[O, R]) safeRead(r *replica[O, R], op O, fake bool) (resp R, done bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -236,7 +241,7 @@ func (i *Instance[O, R]) safeRead(r *replica[O, R], op O, fake bool) (resp R, do
 				o.PanicContained(int(r.id), noIndex)
 			}
 			i.rec.AutoDump("panic")
-			err = &PanicError{Value: p, Stack: string(debug.Stack()), Index: noIndex}
+			err = &PanicError{Value: p, Stack: string(debug.Stack()), Index: noIndex} //nr:allocok contained-panic path
 			done = true
 		}
 	}()

@@ -20,6 +20,11 @@ import (
 // cacheLine keeps hot counters on separate lines.
 type cacheLine = [64]byte
 
+// entry is one log cell; the pad keeps adjacent entries from false sharing
+// under concurrent Fill/Get (size checked by nrlint's cachepad at the
+// representative int64 instantiation).
+//
+//nr:cacheline
 type entry[O any] struct {
 	op     O
 	marker atomic.Uint64 // absolute index + 1 once filled
@@ -33,13 +38,16 @@ type Log[O any] struct {
 	size     uint64
 	maxBatch uint64
 
-	_         cacheLine
-	tail      atomic.Uint64 // next unreserved absolute index (logTail)
-	_         cacheLine
+	_ cacheLine
+	//nr:cacheline
+	tail atomic.Uint64 // next unreserved absolute index (logTail)
+	_    cacheLine
+	//nr:cacheline
 	completed atomic.Uint64 // no completed ops at or after this index (completedTail)
 	_         cacheLine
-	min       atomic.Uint64 // last known smallest localTail (logMin)
-	_         cacheLine
+	//nr:cacheline
+	min atomic.Uint64 // last known smallest localTail (logMin)
+	_   cacheLine
 
 	localTails []*atomic.Uint64 // one per registered replica
 }
@@ -127,6 +135,9 @@ func (l *Log[O]) refreshMin() {
 // log is full because that replica lags, waiting here deadlocks. Combiners
 // use TryReserve and consume entries into their own replica between
 // attempts.
+//
+//nr:noalloc
+//nr:spin
 func (l *Log[O]) Reserve(n int) uint64 {
 	for {
 		if start, ok := l.TryReserve(n); ok {
@@ -149,9 +160,13 @@ func (l *Log[O]) TryReserve(n int) (uint64, bool) {
 // tail-CAS attempts lost to a concurrent reserver before the outcome. The
 // tail CAS is the only cross-node contention point of the update path
 // (§5.1), so casRetries is the direct signal of inter-node append pressure.
+// (Not //nr:spin: the tail CAS retry is a deliberate tight loop — backing
+// off would cede the reservation to the other node every time.)
+//
+//nr:noalloc
 func (l *Log[O]) TryReserveObserved(n int) (start uint64, casRetries int, ok bool) {
 	if n < 1 || uint64(n) > l.maxBatch {
-		panic(fmt.Sprintf("log: reservation of %d outside [1, %d]", n, l.maxBatch))
+		panic(fmt.Sprintf("log: reservation of %d outside [1, %d]", n, l.maxBatch)) //nr:allocok misuse panic
 	}
 	for {
 		start := l.tail.Load()
@@ -187,6 +202,8 @@ func (l *Log[O]) MinLocalTail() uint64 {
 // Fill publishes op at absolute index idx. The entry must have been reserved
 // by the caller. The marker store is the linearization of the append: readers
 // treat an unmarked entry as empty.
+//
+//nr:noalloc
 func (l *Log[O]) Fill(idx uint64, op O) {
 	e := &l.entries[idx%l.size]
 	e.op = op
@@ -196,6 +213,8 @@ func (l *Log[O]) Fill(idx uint64, op O) {
 // Get returns the operation at absolute index idx if it has been filled.
 // A false return means the entry is reserved but not yet written (a "hole"),
 // or recycled for a later lap.
+//
+//nr:noalloc
 func (l *Log[O]) Get(idx uint64) (O, bool) {
 	e := &l.entries[idx%l.size]
 	if e.marker.Load() != idx+1 {
@@ -217,6 +236,9 @@ func (l *Log[O]) WaitGet(idx uint64) O {
 // the log-side stall signal of §5.1 (a combiner preempted between reserve
 // and fill blocks every replayer behind it), so the flight recorder tags
 // them with the spin count.
+//
+//nr:noalloc
+//nr:spin
 func (l *Log[O]) WaitGetObserved(idx uint64) (O, int) {
 	e := &l.entries[idx%l.size]
 	spins := 0

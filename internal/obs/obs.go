@@ -109,6 +109,8 @@ type CountDist struct {
 }
 
 // Record adds one observation of value v.
+//
+//nr:noalloc
 func (d *CountDist) Record(v uint64) {
 	b := bits.Len64(v)
 	if b >= distBuckets {

@@ -1,0 +1,27 @@
+package rwlock
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestPaddedLayout pins the per-reader flag at exactly one cache line so a
+// []padded strides whole lines (§5.5) — the property nrlint's cachepad
+// checks statically via the //nr:cacheline annotation.
+func TestPaddedLayout(t *testing.T) {
+	if size := unsafe.Sizeof(padded{}); size != 64 {
+		t.Errorf("padded size = %d, want 64 (one cache line per reader flag)", size)
+	}
+	var l Distributed
+	if off := unsafe.Offsetof(l.readers); off != 64 {
+		t.Errorf("Distributed.readers offset = %d, want 64 (writer flag owns line 0)", off)
+	}
+}
+
+// TestSpinMutexLayout pins the spinlock at one cache line: arrays of
+// per-node combiner locks must not false-share.
+func TestSpinMutexLayout(t *testing.T) {
+	if size := unsafe.Sizeof(SpinMutex{}); size != 64 {
+		t.Errorf("SpinMutex size = %d, want 64", size)
+	}
+}

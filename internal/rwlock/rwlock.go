@@ -43,7 +43,10 @@ type Lock interface {
 	SetWriterWaitHook(fn func(spins int))
 }
 
-// padded is one per-reader flag on its own cache line.
+// padded is one per-reader flag on its own cache line (size checked by
+// nrlint's cachepad: a []padded must stride whole lines, §5.5).
+//
+//nr:cacheline
 type padded struct {
 	v atomic.Int32
 	_ [60]byte
@@ -58,11 +61,14 @@ type padded struct {
 // with NR only the combiner writes and it has substantial work outside the
 // critical section (§5.5).
 type Distributed struct {
+	//nr:cacheline
 	writer  atomic.Int32
 	_       [60]byte
 	readers []padded
 	// onWriterWait, when set, observes write acquisitions that spun on
 	// reader flags (NR's observability layer). Written before sharing.
+	//
+	//nr:nilguard
 	onWriterWait func(spins int)
 }
 
@@ -78,12 +84,17 @@ func NewDistributed(slots int) *Distributed {
 func (l *Distributed) Slots() int { return len(l.readers) }
 
 // RLock acquires read mode for reader slot.
+//
+//nr:noalloc
 func (l *Distributed) RLock(slot int) {
 	l.RLockObserved(slot)
 }
 
 // RLockObserved acquires read mode for reader slot, reporting how many
 // scheduler yields it spent blocked behind a writer.
+//
+//nr:noalloc
+//nr:spin
 func (l *Distributed) RLockObserved(slot int) (spins int) {
 	r := &l.readers[slot]
 	for {
@@ -103,6 +114,8 @@ func (l *Distributed) RLockObserved(slot int) (spins int) {
 }
 
 // RUnlock releases read mode for reader slot.
+//
+//nr:noalloc
 func (l *Distributed) RUnlock(slot int) {
 	l.readers[slot].v.Store(0)
 }
@@ -112,6 +125,9 @@ func (l *Distributed) SetWriterWaitHook(fn func(spins int)) { l.onWriterWait = f
 
 // waitReaders waits for every reader flag to drain, reporting spins to the
 // writer-wait hook. Caller holds the writer flag.
+//
+//nr:noalloc
+//nr:spin
 func (l *Distributed) waitReaders() {
 	spins := 0
 	for i := range l.readers {
@@ -126,6 +142,9 @@ func (l *Distributed) waitReaders() {
 }
 
 // Lock acquires write mode. Concurrent writers serialize on the writer flag.
+//
+//nr:noalloc
+//nr:spin
 func (l *Distributed) Lock() {
 	for !l.writer.CompareAndSwap(0, 1) {
 		runtime.Gosched()
@@ -186,6 +205,8 @@ func (l *Centralized) SetWriterWaitHook(func(spins int)) {}
 
 // SpinMutex is a test-and-test-and-set spinlock: the "one big lock" (SL)
 // baseline of Fig. 4 and the combiner lock inside NR.
+//
+//nr:cacheline
 type SpinMutex struct {
 	state atomic.Int32
 	_     [60]byte
@@ -197,6 +218,9 @@ func (m *SpinMutex) TryLock() bool {
 }
 
 // Lock spins until the lock is acquired.
+//
+//nr:noalloc
+//nr:spin
 func (m *SpinMutex) Lock() {
 	for {
 		if m.TryLock() {

@@ -195,12 +195,14 @@ func metaWord(k Kind, node int, pos uint64) uint64 {
 // fetch-add hands each a distinct slot, and seqlock validation drops the
 // rare cross-lap tear.
 type Ring struct {
-	rec   *Recorder
-	id    int32
-	mask  uint64
+	rec  *Recorder
+	id   int32
+	mask uint64
+	//nr:cacheline
 	slots []eventSlot
 	_     [40]byte // keep pos off the slots' cache lines
-	pos   atomic.Uint64
+	//nr:cacheline
+	pos atomic.Uint64
 }
 
 // ID returns the ring's id within its recorder.
@@ -213,6 +215,8 @@ func (g *Ring) ID() int {
 
 // Record appends one event. It is safe on a nil Ring (no-op), never
 // blocks, and never allocates.
+//
+//nr:noalloc
 func (g *Ring) Record(k Kind, node int, a, b uint64) {
 	if g == nil {
 		return
@@ -223,6 +227,8 @@ func (g *Ring) Record(k Kind, node int, a, b uint64) {
 // Now reads the recorder clock (0 on a nil Ring). Hot paths that record
 // several adjacent events read it once and stamp them via RecordAt, since
 // the clock read is a large share of an event's cost.
+//
+//nr:noalloc
 func (g *Ring) Now() int64 {
 	if g == nil {
 		return 0
@@ -233,6 +239,8 @@ func (g *Ring) Now() int64 {
 // At converts a wall/monotonic instant already in hand (e.g. one the
 // metrics observer paid for) to the recorder clock — pure arithmetic, no
 // clock read. 0 on a nil Ring.
+//
+//nr:noalloc
 func (g *Ring) At(t time.Time) int64 {
 	if g == nil {
 		return 0
@@ -247,6 +255,8 @@ func (g *Ring) At(t time.Time) int64 {
 // the seal first therefore sees the matching payload; mid-overwrite slots
 // are caught by snapshot's lap floor, not by a per-write invalidation
 // store — keeping the hot path at four atomic stores.
+//
+//nr:noalloc
 func (g *Ring) RecordAt(ts int64, k Kind, node int, a, b uint64) {
 	if g == nil {
 		return
