@@ -6,6 +6,12 @@
 
 GO ?= go
 
+# Where make bench writes its JSON result. Parameterized so a later PR's
+# committed trajectory (BENCH_PR*.json) is never silently overwritten by a
+# default run: bump the default each PR, or override with
+# `make bench BENCH_OUT=/tmp/bench.json`.
+BENCH_OUT ?= BENCH_PR5.json
+
 # The packages where a data race is a protocol bug, not just a test bug.
 RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs
 
@@ -32,8 +38,8 @@ tier2: ## vet + full race-detector run
 chaos: ## fault-injection suite under the race detector, fixed seeds
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-bench: ## real-implementation benchmark with the flight-recorder overhead block
-	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -json BENCH_PR4.json
+bench: ## real-implementation benchmark: recorder overhead block + shard sweep
+	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -shards 1,2,4,8 -json $(BENCH_OUT)
 
 build:
 	$(GO) build ./...

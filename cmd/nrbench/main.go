@@ -40,15 +40,22 @@ func main() {
 		duration = flag.Duration("dur", 2*time.Second, "with -real: measurement duration")
 		threads  = flag.Int("threads", 0, "with -real: worker goroutines (default GOMAXPROCS)")
 		readPct  = flag.Int("readpct", 90, "with -real: percentage of read operations")
+		shards   = flag.String("shards", "", "with -tracecmp: also sweep nr.NewSharded at these shard counts (e.g. 1,2,4,8)")
 	)
 	flag.Parse()
 
 	if *real || *tracecmp {
+		shardCounts, err := parseShardList(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
+			os.Exit(2)
+		}
 		cfg := realConfig{
 			Duration: *duration,
 			Threads:  *threads,
 			ReadPct:  *readPct,
 			JSONPath: *jsonPath,
+			Shards:   shardCounts,
 		}
 		run := runReal
 		if *tracecmp {

@@ -21,6 +21,9 @@ type realConfig struct {
 	Threads  int
 	ReadPct  int
 	JSONPath string
+	// Shards, when non-empty, appends a sharding sweep (shard.go) to the
+	// -tracecmp run: one measurement per listed shard count.
+	Shards []int
 }
 
 // benchMap is the workload structure: a plain map, replicated by NR.
@@ -230,12 +233,14 @@ type flightRecorderReport struct {
 	EventsInSnapshot  int     `json:"events_in_snapshot"`
 }
 
-// tracedResult is the BENCH_PR3.json schema: BENCH_PR2's fields (from the
-// recorder-off run, so the series stays comparable across PRs) plus the
-// flight-recorder overhead block.
+// tracedResult is the BENCH_PR3/PR5.json schema: BENCH_PR2's fields (from
+// the recorder-off run, so the series stays comparable across PRs), the
+// flight-recorder overhead block, and — when -shards is given — the
+// sharding sweep.
 type tracedResult struct {
 	realResult
 	FlightRecorder flightRecorderReport `json:"flight_recorder"`
+	ShardSweep     *shardSweepReport    `json:"shard_sweep,omitempty"`
 }
 
 // runTraceCompare measures the same workload twice — recorder off, then
@@ -280,6 +285,13 @@ func runTraceCompare(cfg realConfig) error {
 		off.ThroughputOpsS/1e6, on.ThroughputOpsS/1e6, overhead, traceBudgetPct)
 	if !res.FlightRecorder.WithinBudget {
 		fmt.Printf("WARNING: overhead exceeds budget\n")
+	}
+	if len(cfg.Shards) > 0 {
+		sweep, err := runShardSweep(cfg, cfg.Shards)
+		if err != nil {
+			return err
+		}
+		res.ShardSweep = sweep
 	}
 	if jsonPath != "" {
 		return writeJSON(jsonPath, res)

@@ -1,0 +1,160 @@
+// The -shards sweep: measure the sharded deployment (nr.NewSharded) at
+// several shard counts against the same total machine. The paper's §5.1
+// bottleneck is the single shared log — every update funnels through one
+// tail CAS and replays into every replica. Sharding splits both costs: the
+// sweep holds the software topology fixed and partitions its nodes across
+// shards (S shards over N nodes → N/S replicas per shard), the deployment
+// SmartPQ-style systems use one NR instance per NUMA domain for. Each
+// update then replays into N/S replicas instead of N, so update-heavy
+// throughput scales with the shard count even on one socket.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	nr "github.com/asplos17/nr"
+	"github.com/asplos17/nr/internal/ds"
+)
+
+// shardPoint is one shard count's measurement in the sweep.
+type shardPoint struct {
+	Shards         int     `json:"shards"`
+	NodesPerShard  int     `json:"nodes_per_shard"`
+	ThreadsPerNode int     `json:"threads_per_node"`
+	TotalOps       uint64  `json:"total_ops"`
+	ThroughputOpsS float64 `json:"throughput_ops_per_sec"`
+}
+
+// shardSweepReport is BENCH_PR5.json's addition over the BENCH_PR3 schema:
+// the shard sweep, run update-heavy because the shared log is an
+// update-side bottleneck (reads never append).
+type shardSweepReport struct {
+	Benchmark string       `json:"benchmark"`
+	ReadPct   int          `json:"read_pct"`
+	Points    []shardPoint `json:"points"`
+	// Speedup4x is 4-shard / 1-shard throughput (0 when either point is
+	// missing from the sweep list).
+	Speedup4x float64 `json:"speedup_4x"`
+}
+
+// parseShardList parses the -shards flag ("1,2,4,8") into shard counts.
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q in -shards", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// shardSweepReadPct fixes the sweep's mix at update-heavy: 10% reads keeps
+// a live read path while the log-append side dominates, which is the
+// regime sharding exists for.
+const shardSweepReadPct = 10
+
+// measureSharded runs the paper's dictionary workload (§8.1.3: skip-list
+// insert/lookup, the structure whose O(log n) pointer-chasing updates make
+// the per-replica replay tax visible) against a sharded instance. The total
+// topology matches measureReal's (up to 4 nodes, sized to the thread count)
+// and is partitioned: each shard gets nodes/shards of it, so the machine
+// modeled stays the same across the sweep.
+func measureSharded(cfg realConfig, shards int) (shardPoint, error) {
+	totalNodes := 4
+	if cfg.Threads < totalNodes {
+		totalNodes = cfg.Threads
+	}
+	nodesPerShard := totalNodes / shards
+	if nodesPerShard < 1 {
+		nodesPerShard = 1
+	}
+	perNode := (cfg.Threads + nodesPerShard - 1) / nodesPerShard
+	// Key-mod routing: the workload's keys are uniform already, so the
+	// cheaper modulus routes as evenly as the hashing Router would.
+	inst, err := nr.NewSharded(
+		func() nr.Sequential[ds.DictOp, ds.DictResult] { return ds.NewSkipListDict(1) },
+		shards,
+		func(op ds.DictOp) int { return int(uint64(op.Key) % uint64(shards)) },
+		nr.WithNodes(nodesPerShard, perNode, 1),
+	)
+	if err != nil {
+		return shardPoint{}, err
+	}
+	defer inst.Close()
+
+	const keyspace = 1 << 16
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		h, err := inst.Register()
+		if err != nil {
+			return shardPoint{}, err
+		}
+		wg.Add(1)
+		go func(h *nr.ShardedHandle[ds.DictOp, ds.DictResult], seed uint64) {
+			defer wg.Done()
+			rng := xorshift(seed)
+			var ops uint64
+			for !stop.Load() {
+				r := rng.next()
+				op := ds.DictOp{Kind: ds.DictInsert, Key: int64(r % keyspace), Value: r}
+				if (r>>32)%100 < uint64(cfg.ReadPct) {
+					op.Kind = ds.DictLookup
+				}
+				h.Execute(op)
+				ops++
+			}
+			total.Add(ops)
+		}(h, uint64(2*t+1))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return shardPoint{
+		Shards:         shards,
+		NodesPerShard:  nodesPerShard,
+		ThreadsPerNode: perNode,
+		TotalOps:       total.Load(),
+		ThroughputOpsS: float64(total.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// runShardSweep measures every shard count in the list and reports the
+// 4-vs-1 speedup when both are present.
+func runShardSweep(cfg realConfig, counts []int) (*shardSweepReport, error) {
+	cfg.ReadPct = shardSweepReadPct
+	rep := &shardSweepReport{Benchmark: "nr-skiplist-dict-mixed", ReadPct: cfg.ReadPct}
+	byCount := map[int]float64{}
+	fmt.Printf("=== shard sweep (update-heavy: read%%=%d) ===\n", cfg.ReadPct)
+	for _, n := range counts {
+		pt, err := measureSharded(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		rep.Points = append(rep.Points, pt)
+		byCount[pt.Shards] = pt.ThroughputOpsS
+		fmt.Printf("shards=%d  nodes/shard=%d  %.2f Mops/s (%d ops)\n",
+			pt.Shards, pt.NodesPerShard, pt.ThroughputOpsS/1e6, pt.TotalOps)
+	}
+	if one, ok := byCount[1]; ok && one > 0 {
+		if four, ok := byCount[4]; ok {
+			rep.Speedup4x = four / one
+			fmt.Printf("4-shard speedup over 1-shard: %.2fx\n", rep.Speedup4x)
+		}
+	}
+	return rep, nil
+}

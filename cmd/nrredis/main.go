@@ -42,6 +42,7 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
 		metrics = flag.String("metrics", "", "HTTP metrics address (e.g. 127.0.0.1:6390); empty disables")
 		method  = flag.String("method", "nr", "concurrency method: nr, sl, rwl, fc, fc+")
+		shards  = flag.Int("shards", 1, "hash-partition the keyspace over this many NR instances (nr method only)")
 		workers = flag.Int("workers", 8, "worker threads servicing requests")
 		nodes   = flag.Int("nodes", 4, "NUMA nodes in the software topology")
 		cores   = flag.Int("cores", 14, "cores per node")
@@ -67,7 +68,16 @@ func main() {
 			ProfileSampleRate: *traceProf,
 		})
 	}
-	shared, err := miniredis.NewSharedTraced(*method, topo, *seed, rec)
+	var shared miniredis.Shared
+	var err error
+	if *shards > 1 {
+		if *method != miniredis.MethodNR {
+			log.Fatalf("nrredis: -shards applies only to -method nr (got %q)", *method)
+		}
+		shared, err = miniredis.NewShardedShared(topo, *seed, *shards, rec)
+	} else {
+		shared, err = miniredis.NewSharedTraced(*method, topo, *seed, rec)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +119,7 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("nrredis: method=%s workers=%d topology=%s", *method, *workers, topo)
+	log.Printf("nrredis: method=%s shards=%d workers=%d topology=%s", *method, *shards, *workers, topo)
 	if err := srv.Serve(*addr, func(a net.Addr) { log.Printf("nrredis: listening on %s", a) }); err != nil {
 		log.Fatal(err)
 	}

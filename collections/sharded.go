@@ -1,0 +1,83 @@
+package collections
+
+import (
+	nr "github.com/asplos17/nr"
+)
+
+// ShardedMap is Map over nr.NewSharded: the key space is hash-partitioned
+// across independent NR instances, so updates to different shards never
+// contend on a shared log. Per-key operations (Get/Put/Delete) keep Map's
+// full linearizability — every operation on a key lands on the shard that
+// owns it. Len is a cross-shard fan-out with per-shard-linearizable
+// semantics: it sums counts taken at each shard's own linearization point,
+// so concurrent updates may or may not be included, though the result is
+// always a size the map could have had.
+type ShardedMap[K comparable, V any] struct {
+	inst *nr.ShardedInstance[mapOp[K, V], mapResp[V]]
+}
+
+// NewShardedMap builds a map hash-partitioned over the given number of
+// shards, each shard replicated per the nr options. The router is
+// nr.KeyRouter over the operation's key.
+func NewShardedMap[K comparable, V any](shards int, opts ...nr.Option) (*ShardedMap[K, V], error) {
+	inst, err := nr.NewSharded(func() nr.Sequential[mapOp[K, V], mapResp[V]] {
+		return &seqMap[K, V]{m: make(map[K]V)}
+	}, shards, nr.KeyRouter(shards, func(op mapOp[K, V]) K { return op.key }), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMap[K, V]{inst: inst}, nil
+}
+
+// ShardedMapHandle executes map operations for one goroutine.
+type ShardedMapHandle[K comparable, V any] struct {
+	h *nr.ShardedHandle[mapOp[K, V], mapResp[V]]
+}
+
+// Register binds the calling goroutine to the map (one handle slot on every
+// shard, all on the same node).
+func (m *ShardedMap[K, V]) Register() (*ShardedMapHandle[K, V], error) {
+	h, err := m.inst.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMapHandle[K, V]{h: h}, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardedMap[K, V]) Shards() int { return m.inst.Shards() }
+
+// Stats exposes the aggregate NR counters (per-shard counters summed).
+func (m *ShardedMap[K, V]) Stats() nr.Stats { return m.inst.Stats() }
+
+// Metrics exposes the aggregated snapshot with per-shard breakdowns.
+func (m *ShardedMap[K, V]) Metrics() nr.ShardedMetrics { return m.inst.Metrics() }
+
+// Close stops every shard's background goroutines.
+func (m *ShardedMap[K, V]) Close() { m.inst.Close() }
+
+// Get returns the value stored under key.
+func (h *ShardedMapHandle[K, V]) Get(key K) (V, bool) {
+	r := h.h.Execute(mapOp[K, V]{kind: mapGet, key: key})
+	return r.val, r.ok
+}
+
+// Put stores val under key, reporting whether the key was newly inserted.
+func (h *ShardedMapHandle[K, V]) Put(key K, val V) bool {
+	return h.h.Execute(mapOp[K, V]{kind: mapPut, key: key, val: val}).ok
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *ShardedMapHandle[K, V]) Delete(key K) bool {
+	return h.h.Execute(mapOp[K, V]{kind: mapDelete, key: key}).ok
+}
+
+// Len sums the shard sizes — a cross-shard fan-out, per-shard linearizable
+// only (see ShardedMap).
+func (h *ShardedMapHandle[K, V]) Len() int {
+	total := 0
+	for _, r := range h.h.ExecuteAll(mapOp[K, V]{kind: mapLen}) {
+		total += r.n
+	}
+	return total
+}

@@ -1,0 +1,164 @@
+// Sharded chaos runs: the same seeded fault schedules driven through a
+// shard.Instance, so fault containment is exercised across shard
+// boundaries. The interesting invariant beyond the plain harness is
+// isolation: a panic or stall injected into one shard must be contained by
+// that shard's machinery without perturbing the others' convergence.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/shard"
+	"github.com/asplos17/nr/internal/topology"
+	"github.com/asplos17/nr/internal/trace"
+)
+
+// ShardedReport is a Report plus per-shard detail. The embedded Report's
+// Fingerprints hold one combined digest per node — the sum of that node's
+// per-shard replica fingerprints, which is the fingerprint of the node's
+// union state because shards partition the key space and Fingerprint is a
+// commutative per-entry sum — so Report.Check's convergence invariant
+// applies unchanged.
+type ShardedReport struct {
+	Report
+	// ShardFingerprints[s][n] is shard s's replica fingerprint on node n,
+	// for pinpointing which shard diverged when the combined check fails.
+	ShardFingerprints [][]uint64
+}
+
+// CheckSharded runs the plain invariants plus per-shard convergence.
+func (r *ShardedReport) CheckSharded() []error {
+	errs := r.Check()
+	for s, fps := range r.ShardFingerprints {
+		for n := 1; n < len(fps); n++ {
+			if fps[n] != fps[0] {
+				errs = append(errs, fmt.Errorf(
+					"shard %d: replica %d fingerprint %x != replica 0 fingerprint %x (divergence)",
+					s, n, fps[n], fps[0]))
+			}
+		}
+	}
+	return errs
+}
+
+// RunSharded executes the schedule against a fresh sharded instance: keyed
+// ops route by Key mod shards, Sum fans out with TryExecuteAll and returns
+// the cross-shard total. Faults ride the keyed ops, so each injected panic
+// or stall lands on a single shard while traffic keeps flowing to the rest.
+func RunSharded(s Schedule, shards int) (*ShardedReport, error) {
+	s.fillDefaults()
+	if s.AbandonEveryN > 0 {
+		return nil, fmt.Errorf("chaos: sharded runs do not support abandonment schedules")
+	}
+	var (
+		rec    *trace.Recorder
+		dumpMu sync.Mutex
+		dumps  []string
+	)
+	if s.Trace {
+		rec = trace.New(trace.Config{
+			RingSlots:       2048,
+			DumpMinInterval: -1,
+			OnDump: func(reason string, _ trace.Snapshot) {
+				dumpMu.Lock()
+				dumps = append(dumps, reason)
+				dumpMu.Unlock()
+			},
+		})
+	}
+	inst, err := shard.New(shards,
+		func(op Op) int { return int(op.Key) % shards },
+		func(int) (*core.Instance[Op, Result], error) {
+			return core.New[Op, Result](
+				func() core.Sequential[Op, Result] { return NewDS() },
+				core.Options{
+					Topology:           topology.New(s.Nodes, s.CoresPerNode, 1),
+					LogEntries:         s.LogEntries,
+					MinBatch:           s.MinBatch,
+					DedicatedCombiners: s.DedicatedCombiners,
+					DisableCombining:   s.DisableCombining,
+					StallThreshold:     s.StallThreshold,
+					Trace:              rec,
+				})
+		})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building sharded instance: %w", err)
+	}
+	defer inst.Close()
+
+	start := time.Now()
+	outcomes := make([][]Outcome, s.Threads)
+	handles := make([]*shard.Handle[Op, Result], s.Threads)
+	for t := 0; t < s.Threads; t++ {
+		h, err := inst.Register()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: registering worker %d: %w", t, err)
+		}
+		handles[t] = h
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < s.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := handles[t]
+			rng := NewRand(s.Seed ^ mix(uint64(t)+1))
+			outs := make([]Outcome, 0, s.OpsPerThread)
+			for seq := 0; seq < s.OpsPerThread; seq++ {
+				op := s.opFor(rng, t, seq)
+				var (
+					resp Result
+					err  error
+				)
+				if op.Kind == KindSum {
+					resps, allErr := h.TryExecuteAll(op)
+					for _, r := range resps {
+						resp.Value += r.Value
+					}
+					err = allErr
+				} else {
+					resp, err = h.TryExecute(op)
+				}
+				outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Resp: resp, Err: err})
+			}
+			outcomes[t] = outs
+		}(t)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.Timeout):
+		return nil, fmt.Errorf("%w after %v; stats %+v health %+v",
+			ErrDeadlock, s.Timeout, inst.Stats(), inst.Health())
+	}
+	inst.Quiesce()
+
+	rep := &ShardedReport{Report: Report{Schedule: s, Elapsed: time.Since(start)}}
+	for _, outs := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, outs...)
+	}
+	rep.Fingerprints = make([]uint64, inst.Replicas())
+	for si := 0; si < inst.Shards(); si++ {
+		fps := make([]uint64, inst.Replicas())
+		for n := 0; n < inst.Replicas(); n++ {
+			inst.Shard(si).InspectReplica(n, func(ds core.Sequential[Op, Result]) {
+				fps[n] = ds.(*DS).Fingerprint()
+			})
+			rep.Fingerprints[n] += fps[n]
+		}
+		rep.ShardFingerprints = append(rep.ShardFingerprints, fps)
+	}
+	rep.Stats = inst.Stats()
+	rep.Health = inst.Health()
+	if s.Trace {
+		dumpMu.Lock()
+		rep.TraceDumps = append(rep.TraceDumps, dumps...)
+		dumpMu.Unlock()
+		rep.TraceEvents = len(rec.Snapshot().Events())
+	}
+	return rep, nil
+}

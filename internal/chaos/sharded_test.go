@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// runShardedAndCheck runs the schedule through RunSharded under every fixed
+// seed and fails on any invariant violation.
+func runShardedAndCheck(t *testing.T, s Schedule, shards int) {
+	t.Helper()
+	for _, seed := range fixedSeeds {
+		s.Seed = seed
+		rep, err := RunSharded(s, shards)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		for _, v := range rep.CheckSharded() {
+			t.Errorf("seed %#x: invariant violated: %v", seed, v)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %#x: schedule %+v, %d shards", seed, s, shards)
+		}
+	}
+}
+
+// TestShardedPanicFaults injects deterministic panics into a 3-shard
+// instance: each panic lands on one shard (routed by key) and must be
+// contained there — the submitter gets its PanicError, ops routed to the
+// other shards keep completing, and every shard's replicas converge.
+func TestShardedPanicFaults(t *testing.T) {
+	runShardedAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 4,
+		OpsPerThread: 300,
+		PanicEveryN:  7,
+	}, 3)
+}
+
+// TestShardedStallsUnderLogPressure combines stalling combiners with tiny
+// per-shard logs, plus Sum fan-outs crossing all shards mid-fault: a shard
+// wedged by a stall must not deadlock a fan-out that also needs the healthy
+// shards.
+func TestShardedStallsUnderLogPressure(t *testing.T) {
+	runShardedAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 2,
+		OpsPerThread:   80,
+		LogEntries:     32,
+		StallEveryN:    20,
+		StallFor:       2 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+		ReadFraction:   30,
+	}, 2)
+}
+
+// TestShardedStateMatchesFlatModel pins down that sharding only partitions
+// — it never loses or duplicates state. With faults off, the run's applied
+// updates are replayed into one flat sequential model; the combined
+// per-node fingerprint (sum of per-shard fingerprints, valid because shards
+// partition the key space) must equal the model's.
+func TestShardedStateMatchesFlatModel(t *testing.T) {
+	rep, err := RunSharded(Schedule{
+		Seed:  42,
+		Nodes: 2, CoresPerNode: 2,
+		OpsPerThread: 100,
+		ReadFraction: 25,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := rep.CheckSharded(); len(errs) > 0 {
+		t.Fatalf("invariants: %v", errs)
+	}
+	s := rep.Schedule // defaults filled by the run
+	model := NewDS()
+	for w := 0; w < s.Threads; w++ {
+		// Op streams are pure functions of (seed, thread, seq), so the
+		// worker's updates replay exactly.
+		rng := NewRand(s.Seed ^ mix(uint64(w)+1))
+		for seq := 0; seq < s.OpsPerThread; seq++ {
+			if op := s.opFor(rng, w, seq); op.Kind != KindSum {
+				model.Execute(op)
+			}
+		}
+	}
+	if got, want := rep.Fingerprints[0], model.Fingerprint(); got != want {
+		t.Errorf("combined fingerprint %x != flat sequential model %x", got, want)
+	}
+}

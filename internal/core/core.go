@@ -236,6 +236,10 @@ type Instance[O, R any] struct {
 
 	mu    sync.Mutex // guards registration
 	place *topology.Placement
+	// fillSkips counts fill positions Register walked past because their
+	// node was already filled by explicit RegisterOnNode calls; it keeps
+	// the exhaustion error's assigned-vs-skipped report accurate.
+	fillSkips int
 
 	combines        atomic.Uint64
 	combinedOps     atomic.Uint64
@@ -422,13 +426,22 @@ func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 		thread, node := i.place.Next()
 		r := i.replicas[node]
 		if r.registered >= len(r.slots) {
+			i.fillSkips++
 			continue // node filled explicitly; try the next position
 		}
 		s := r.registered
 		r.registered++
 		return &Handle[O, R]{inst: i, node: node, slot: s, thread: thread, ring: i.rec.AcquireRing()}, nil
 	}
-	return nil, fmt.Errorf("core: all %d hardware threads registered", total)
+	// Report what actually happened, not just the walked position count:
+	// positions skipped over explicitly filled nodes are not handles.
+	assigned := 0
+	for _, r := range i.replicas {
+		assigned += r.registered
+	}
+	return nil, fmt.Errorf(
+		"core: no free hardware-thread positions: %d of %d handles assigned (%d fill positions skipped over explicitly filled nodes)",
+		assigned, total, i.fillSkips)
 }
 
 // RegisterOnNode binds the caller to an explicit node, for callers that
@@ -552,18 +565,29 @@ func (i *Instance[O, R]) executeLabeled(h *Handle[O, R], op O) (R, error) {
 		resp, class, err = i.dispatch(h, op)
 	})
 	if o != nil {
-		o.OpDone(h.node, class, time.Since(start))
+		elapsed := time.Since(start)
+		o.OpDone(h.node, class, elapsed)
+		// Same derivation as the unsampled path in TryExecute: the op-end
+		// timestamp comes from the observer's clock reads (tsHint+elapsed),
+		// so a sampled op's span ends exactly like every other op's.
+		h.ring.RecordAt(h.tsHint+int64(elapsed), trace.KOpEnd, h.node, h.token(), uint64(class))
+	} else {
+		h.ring.Record(trace.KOpEnd, h.node, h.token(), uint64(class))
 	}
-	h.ring.Record(trace.KOpEnd, h.node, h.token(), uint64(class))
 	return resp, err
 }
 
 // dispatch routes op to the read or update path and reports which class
 // served it: ops a FakeUpdater resolved without logging count as reads,
-// matching the Stats.ReadOps accounting.
+// matching the Stats.ReadOps accounting. Each op is counted exactly once,
+// in the class that actually served it — a fake update that fails its
+// read-path attempt counts only as an update, so ReadOps+UpdateOps always
+// equals the number of ops executed and agrees with the per-class latency
+// histograms the metrics observer keeps.
 func (i *Instance[O, R]) dispatch(h *Handle[O, R], op O) (R, obs.OpClass, error) {
 	r := i.replicas[h.node]
 	if r.ds.IsReadOnly(op) {
+		i.readOps.Add(1)
 		resp, _, err := i.readOnlyVia(h, op, false)
 		return resp, obs.OpRead, err
 	}
@@ -575,6 +599,7 @@ func (i *Instance[O, R]) dispatch(h *Handle[O, R], op O) (R, obs.OpClass, error)
 		// is final (done=true): retrying on the update path would replay
 		// the panic into every replica.
 		if resp, done, err := i.readOnlyVia(h, op, true); done {
+			i.readOps.Add(1)
 			return resp, obs.OpRead, err
 		}
 	}
@@ -986,7 +1011,6 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
-	i.readOps.Add(1)
 	r := i.replicas[h.node]
 	tok := h.token()
 	var readTail uint64

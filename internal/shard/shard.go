@@ -1,0 +1,198 @@
+// Package shard composes S independent NR core instances into one sharded
+// structure, breaking the single-log bottleneck of §5.1: every update in a
+// plain NR instance funnels through one shared log whose tail CAS is the
+// sole cross-node contention point, so once that CAS saturates the scaling
+// curves flatten (the paper's own Fig. 10 plateau). Sharding splits the
+// operation space across S logs — each shard is a complete NR instance with
+// its own log, replicas, combiner locks, and reader locks — so tail CASes,
+// combining rounds, and replica replay all run independently per shard.
+//
+// The price is scope: linearizability holds per shard, not across shards.
+// A router (user-supplied, pure, stable) decides which shard owns each
+// operation; operations that touch a single routable key keep exactly the
+// guarantees plain NR gives them, because every operation on that key lands
+// on the same shard's log and replays in that log's order on every one of
+// that shard's replicas. Cross-shard operations (ExecuteAll) execute on
+// each shard independently — per-shard linearizable, with no atomicity
+// across shards; see DESIGN.md §11 for when that is and is not acceptable.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asplos17/nr/internal/core"
+)
+
+// Instance is S independent core NR instances behind one router.
+type Instance[O, R any] struct {
+	shards []*core.Instance[O, R]
+	route  func(op O) int
+}
+
+// New builds a sharded instance: route maps each operation to a shard in
+// [0, n), and build constructs shard i's core instance (its own log,
+// replicas, and locks; typically identical options across shards). The
+// router must be a pure function of the operation and stable for the
+// instance's lifetime — it decides which shard's replicas own the
+// operation's state, so an unstable router splits a key's history across
+// logs and forfeits that key's linearizability.
+func New[O, R any](n int, route func(op O) int, build func(shard int) (*core.Instance[O, R], error)) (*Instance[O, R], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
+	}
+	if route == nil {
+		return nil, errors.New("shard: nil router")
+	}
+	s := &Instance[O, R]{route: route, shards: make([]*core.Instance[O, R], n)}
+	for i := range s.shards {
+		inst, err := build(i)
+		if err != nil {
+			s.Close() // stop any background goroutines already started
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		s.shards[i] = inst
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Instance[O, R]) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's core instance, for inspection and tests.
+func (s *Instance[O, R]) Shard(i int) *core.Instance[O, R] { return s.shards[i] }
+
+// Replicas returns the per-shard replica count (uniform across shards).
+func (s *Instance[O, R]) Replicas() int { return s.shards[0].Replicas() }
+
+// shardOf applies the router and validates its contract.
+func (s *Instance[O, R]) shardOf(op O) int {
+	i := s.route(op)
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("shard: router returned %d, want [0,%d)", i, len(s.shards)))
+	}
+	return i
+}
+
+// Handle executes operations for one registered goroutine: one core handle
+// per shard, all bound to the same node, behind a single routing front. Like
+// a core handle, it is not safe for concurrent use.
+type Handle[O, R any] struct {
+	inst *Instance[O, R]
+	hs   []*core.Handle[O, R]
+}
+
+// Register binds the calling goroutine to the next fill-placement position
+// (decided by shard 0, mirrored onto every other shard so the goroutine
+// lands on the same node everywhere).
+func (s *Instance[O, R]) Register() (*Handle[O, R], error) {
+	h0, err := s.shards[0].Register()
+	if err != nil {
+		return nil, err
+	}
+	return s.mirror(h0)
+}
+
+// RegisterOnNode binds the calling goroutine to an explicit node on every
+// shard.
+func (s *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
+	h0, err := s.shards[0].RegisterOnNode(node)
+	if err != nil {
+		return nil, err
+	}
+	return s.mirror(h0)
+}
+
+// mirror completes a registration begun on shard 0 by registering the same
+// node on every other shard. Shards are registered only through this type,
+// so per-node occupancy stays identical across shards and the mirrored
+// registrations cannot fail unless the caller bypassed the sharded API.
+func (s *Instance[O, R]) mirror(h0 *core.Handle[O, R]) (*Handle[O, R], error) {
+	hs := make([]*core.Handle[O, R], len(s.shards))
+	hs[0] = h0
+	for i := 1; i < len(s.shards); i++ {
+		h, err := s.shards[i].RegisterOnNode(h0.Node())
+		if err != nil {
+			return nil, fmt.Errorf("shard: mirroring registration onto shard %d: %w", i, err)
+		}
+		hs[i] = h
+	}
+	return &Handle[O, R]{inst: s, hs: hs}, nil
+}
+
+// Node returns the node every per-shard handle is bound to.
+func (h *Handle[O, R]) Node() int { return h.hs[0].Node() }
+
+// ShardOf reports which shard the router sends op to.
+func (h *Handle[O, R]) ShardOf(op O) int { return h.inst.shardOf(op) }
+
+// Execute routes op to its shard and runs it there with that shard's full
+// NR guarantees (linearizable within the shard). Panics and poisoning
+// propagate exactly as core.Handle.Execute does, scoped to the one shard.
+func (h *Handle[O, R]) Execute(op O) R {
+	return h.hs[h.inst.shardOf(op)].Execute(op)
+}
+
+// TryExecute routes op to its shard, reporting contained failures as errors
+// (see core.Handle.TryExecute). A poisoned or failing shard affects only
+// operations routed to it.
+func (h *Handle[O, R]) TryExecute(op O) (R, error) {
+	return h.hs[h.inst.shardOf(op)].TryExecute(op)
+}
+
+// TryExecuteAll runs op on every shard — the cross-shard fan-out for
+// operations without a single routable key (a global count, a flush). The
+// semantics are per-shard linearizable: each shard's application of op is
+// individually linearizable, but there is no point in time at which all
+// shards are observed together, and concurrent routed updates may land
+// between the per-shard executions. Every shard is attempted even when an
+// earlier one fails; the first error is returned alongside the responses
+// (zero-valued at failed shards).
+func (h *Handle[O, R]) TryExecuteAll(op O) ([]R, error) {
+	resps := make([]R, len(h.hs))
+	var firstErr error
+	for i, ch := range h.hs {
+		r, err := ch.TryExecute(op)
+		resps[i] = r
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return resps, firstErr
+}
+
+// ExecuteAll is TryExecuteAll with core.Handle.Execute's panic behavior: a
+// contained failure on any shard is re-raised on the calling goroutine.
+func (h *Handle[O, R]) ExecuteAll(op O) []R {
+	resps, err := h.TryExecuteAll(op)
+	if err != nil {
+		panic(err)
+	}
+	return resps
+}
+
+// Quiesce brings every replica of every shard up to date.
+func (s *Instance[O, R]) Quiesce() {
+	for _, inst := range s.shards {
+		inst.Quiesce()
+	}
+}
+
+// Close stops every shard's background goroutines (dedicated combiners,
+// watchdogs). Idempotent, nil-shard tolerant (partial construction).
+func (s *Instance[O, R]) Close() {
+	for _, inst := range s.shards {
+		if inst != nil {
+			inst.Close()
+		}
+	}
+}
+
+// MemoryBytes sums the shards' footprints (logs plus Sizer replicas).
+func (s *Instance[O, R]) MemoryBytes() uint64 {
+	var total uint64
+	for _, inst := range s.shards {
+		total += inst.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,236 @@
+package shard_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/ds"
+	"github.com/asplos17/nr/internal/shard"
+	"github.com/asplos17/nr/internal/topology"
+)
+
+// newDictShards builds a sharded skip-list dictionary routed by key mod n,
+// each shard a full core instance over the same nodes×cores×smt topology.
+func newDictShards(t *testing.T, n, nodes, cores, smt int) *shard.Instance[ds.DictOp, ds.DictResult] {
+	t.Helper()
+	s, err := shard.New(n,
+		func(op ds.DictOp) int { return int(uint64(op.Key) % uint64(n)) },
+		func(int) (*core.Instance[ds.DictOp, ds.DictResult], error) {
+			return core.New[ds.DictOp, ds.DictResult](
+				func() core.Sequential[ds.DictOp, ds.DictResult] { return ds.NewSkipListDict(1) },
+				core.Options{Topology: topology.New(nodes, cores, smt), LogEntries: 1 << 12})
+		})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRoutedOpsMatchSequentialModel drives concurrent per-key traffic through
+// a 4-shard dictionary and checks the merged final state against a sequential
+// model: each key's ops all land on one shard, so last-writer-wins per key.
+func TestRoutedOpsMatchSequentialModel(t *testing.T) {
+	const shards, threads, perThread, keys = 4, 4, 500, 64
+	s := newDictShards(t, shards, 2, 2, 1)
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h, err := s.Register()
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			for i := 0; i < perThread; i++ {
+				key := int64((tid*perThread + i) % keys)
+				h.Execute(ds.DictOp{Kind: ds.DictInsert, Key: key, Value: uint64(tid)<<32 | uint64(i)})
+				if got := h.Execute(ds.DictOp{Kind: ds.DictLookup, Key: key}); !got.OK {
+					t.Errorf("lookup(%d) after insert: missing", key)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	// Every key must live on exactly the shard the router names, and on every
+	// replica of that shard identically.
+	s.Quiesce()
+	for k := int64(0); k < keys; k++ {
+		owner := int(uint64(k) % uint64(shards))
+		for si := 0; si < s.Shards(); si++ {
+			for node := 0; node < s.Replicas(); node++ {
+				var found bool
+				s.Shard(si).InspectReplica(node, func(d core.Sequential[ds.DictOp, ds.DictResult]) {
+					found = d.Execute(ds.DictOp{Kind: ds.DictLookup, Key: k}).OK
+				})
+				if found != (si == owner) {
+					t.Fatalf("key %d on shard %d node %d: present=%v, want owner shard %d only",
+						k, si, node, found, owner)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistrationMirrorsNodeAcrossShards checks that a handle is bound to
+// the same node on every shard, for both fill and explicit placement.
+func TestRegistrationMirrorsNodeAcrossShards(t *testing.T) {
+	s := newDictShards(t, 3, 2, 2, 1)
+
+	he, err := s.RegisterOnNode(1)
+	if err != nil {
+		t.Fatalf("RegisterOnNode: %v", err)
+	}
+	if he.Node() != 1 {
+		t.Fatalf("explicit handle on node %d, want 1", he.Node())
+	}
+	for i := 0; i < 3; i++ { // fill placement: uses the remaining slots
+		h, err := s.Register()
+		if err != nil {
+			t.Fatalf("Register #%d: %v", i, err)
+		}
+		_ = h.Execute(ds.DictOp{Kind: ds.DictInsert, Key: int64(i)})
+	}
+	// All four positions taken on shard 0 means — if mirroring kept
+	// occupancy identical — all taken on every shard: one more explicit
+	// registration must fail on every shard alike.
+	for si := 0; si < s.Shards(); si++ {
+		if _, err := s.Shard(si).RegisterOnNode(0); err == nil {
+			t.Fatalf("shard %d: RegisterOnNode(0) succeeded, want exhaustion (occupancy drifted)", si)
+		}
+	}
+}
+
+// TestExecuteAllFansOutPerShard checks the cross-shard fan-out: a lookup run
+// through ExecuteAll returns one response per shard, and only the owner
+// shard finds the key.
+func TestExecuteAllFansOutPerShard(t *testing.T) {
+	const shards = 4
+	s := newDictShards(t, shards, 1, 2, 1)
+	h, err := s.Register()
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.Execute(ds.DictOp{Kind: ds.DictInsert, Key: 6, Value: 99})
+
+	resps := h.ExecuteAll(ds.DictOp{Kind: ds.DictLookup, Key: 6})
+	if len(resps) != shards {
+		t.Fatalf("ExecuteAll returned %d responses, want %d", len(resps), shards)
+	}
+	for i, r := range resps {
+		want := i == h.ShardOf(ds.DictOp{Key: 6})
+		if r.OK != want {
+			t.Errorf("shard %d: lookup.OK = %v, want %v", i, r.OK, want)
+		}
+	}
+}
+
+// TestRouterOutOfRangePanics checks the router-contract guard.
+func TestRouterOutOfRangePanics(t *testing.T) {
+	s, err := shard.New(2,
+		func(ds.DictOp) int { return 2 }, // out of [0,2)
+		func(int) (*core.Instance[ds.DictOp, ds.DictResult], error) {
+			return core.New[ds.DictOp, ds.DictResult](
+				func() core.Sequential[ds.DictOp, ds.DictResult] { return ds.NewSkipListDict(1) },
+				core.Options{Topology: topology.New(1, 1, 1), LogEntries: 1 << 10})
+		})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	defer s.Close()
+	h, err := s.Register()
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Execute with out-of-range router did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "router returned 2") {
+			t.Fatalf("panic = %v, want router-contract message", r)
+		}
+	}()
+	h.Execute(ds.DictOp{Kind: ds.DictInsert, Key: 1})
+}
+
+// TestBuildFailureClosesPartialShards checks that a failing build tears down
+// the shards already constructed and surfaces the shard index.
+func TestBuildFailureClosesPartialShards(t *testing.T) {
+	boom := errors.New("boom")
+	var built []*core.Instance[ds.DictOp, ds.DictResult]
+	_, err := shard.New(3,
+		func(ds.DictOp) int { return 0 },
+		func(i int) (*core.Instance[ds.DictOp, ds.DictResult], error) {
+			if i == 2 {
+				return nil, boom
+			}
+			inst, err := core.New[ds.DictOp, ds.DictResult](
+				func() core.Sequential[ds.DictOp, ds.DictResult] { return ds.NewSkipListDict(1) },
+				core.Options{Topology: topology.New(1, 1, 1), LogEntries: 1 << 10})
+			if err == nil {
+				built = append(built, inst)
+			}
+			return inst, err
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("New error = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("New error = %q, want shard index", err)
+	}
+	if len(built) != 2 {
+		t.Fatalf("built %d shards before failure, want 2", len(built))
+	}
+	// Closed instances refuse new registrations via their watchdog shutdown;
+	// the observable contract here is just that Close was already safe to
+	// call and double-Close stays idempotent.
+	for _, inst := range built {
+		inst.Close()
+	}
+}
+
+// TestAggregateStatsSumShards checks Metrics folding: the aggregate counters
+// equal the per-shard sums and account for every executed op exactly once.
+func TestAggregateStatsSumShards(t *testing.T) {
+	const shards, ops = 2, 400
+	s := newDictShards(t, shards, 2, 1, 1)
+	h, err := s.Register()
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for i := 0; i < ops; i++ {
+		k := int64(i % 16)
+		if i%4 == 0 {
+			h.Execute(ds.DictOp{Kind: ds.DictLookup, Key: k})
+		} else {
+			h.Execute(ds.DictOp{Kind: ds.DictInsert, Key: k, Value: uint64(i)})
+		}
+	}
+	m := s.Metrics()
+	if len(m.Shards) != shards {
+		t.Fatalf("Metrics has %d shard entries, want %d", len(m.Shards), shards)
+	}
+	var reads, updates uint64
+	for _, ms := range m.Shards {
+		reads += ms.Stats.ReadOps
+		updates += ms.Stats.UpdateOps
+	}
+	if m.Aggregate.Stats.ReadOps != reads || m.Aggregate.Stats.UpdateOps != updates {
+		t.Errorf("aggregate reads/updates = %d/%d, want per-shard sums %d/%d",
+			m.Aggregate.Stats.ReadOps, m.Aggregate.Stats.UpdateOps, reads, updates)
+	}
+	if total := reads + updates; total != ops {
+		t.Errorf("ReadOps+UpdateOps = %d, want %d (each op counted once)", total, ops)
+	}
+	if m.Aggregate.Observed != nil {
+		t.Errorf("aggregate Observed = %v, want nil (percentiles do not merge)", m.Aggregate.Observed)
+	}
+}

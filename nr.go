@@ -219,17 +219,12 @@ type Handle[O, R any] struct {
 	inner *core.Handle[O, R]
 }
 
-// New builds an instance. create is invoked once per NUMA node and must
-// produce identical replicas (same seeds, same initial contents). With no
-// options it simulates the paper's testbed (4×14×2, 64K-entry log).
-func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance[O, R], error) {
-	if create == nil {
-		return nil, errors.New("nr: create function is nil")
-	}
-	var s settings
-	for _, o := range options {
-		o(&s)
-	}
+// lower converts the accumulated settings into one core.Options value. It
+// is called once per core instance built — S times for a sharded instance —
+// so every call hands out a fresh obs.Metrics observer (per-shard latency
+// histograms must not share buckets) while the user-supplied observers and
+// the flight recorder are shared across calls by design.
+func (s *settings) lower() core.Options {
 	cfg := s.cfg
 	opts := core.Options{
 		LogEntries:         cfg.LogEntries,
@@ -250,12 +245,29 @@ func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance
 		opts.Topology = topology.New(cfg.Nodes, cores, smt)
 		nodes = cfg.Nodes
 	}
+	// Full slice expression: a second lower() call must not overwrite the
+	// obs.Metrics a previous call appended into shared backing storage.
+	observers := s.observers[:len(s.observers):len(s.observers)]
 	if s.metrics {
-		s.observers = append(s.observers, obs.NewMetrics(nodes))
+		observers = append(observers, obs.NewMetrics(nodes))
 	}
-	opts.Observer = obs.Combine(s.observers...)
+	opts.Observer = obs.Combine(observers...)
 	opts.Trace = s.trace
-	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, opts)
+	return opts
+}
+
+// New builds an instance. create is invoked once per NUMA node and must
+// produce identical replicas (same seeds, same initial contents). With no
+// options it simulates the paper's testbed (4×14×2, 64K-entry log).
+func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance[O, R], error) {
+	if create == nil {
+		return nil, errors.New("nr: create function is nil")
+	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, s.lower())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,180 @@
+package nr_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	nr "github.com/asplos17/nr"
+)
+
+// TestShardedQuickstart exercises the public sharded surface the way a
+// downstream user would: KeyRouter over the op's key, concurrent writers,
+// per-key reads routed to the owning shard.
+func TestShardedQuickstart(t *testing.T) {
+	inst, err := nr.NewSharded(newSeqMap, 4,
+		nr.KeyRouter(4, func(op mapOp) string { return op.key }),
+		nr.WithNodes(2, 3, 1), nr.WithLogEntries(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Shards() != 4 {
+		t.Errorf("Shards = %d, want 4", inst.Shards())
+	}
+	if inst.Replicas() != 2 {
+		t.Errorf("Replicas = %d, want 2", inst.Replicas())
+	}
+
+	const threads, perThread = 4, 300
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h, err := inst.Register()
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			for i := 0; i < perThread; i++ {
+				key := "k" + strconv.Itoa(i%32)
+				h.Execute(mapOp{key: key, val: tid*perThread + i})
+				if got := h.Execute(mapOp{get: true, key: key}); !got.ok {
+					t.Errorf("read back %q: missing", key)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	h, err := inst.RegisterOnNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		key := "k" + strconv.Itoa(i)
+		if got := h.Execute(mapOp{get: true, key: key}); !got.ok {
+			t.Errorf("final read %q: missing", key)
+		}
+		// The router is a pure function: the shard must not change between
+		// calls, and Execute must agree with ShardOf.
+		if a, b := h.ShardOf(mapOp{key: key}), h.ShardOf(mapOp{get: true, key: key}); a != b {
+			t.Errorf("router unstable for %q: %d vs %d", key, a, b)
+		}
+	}
+}
+
+// TestShardedExecuteAll checks the documented fan-out semantics: one
+// response per shard, in shard order.
+func TestShardedExecuteAll(t *testing.T) {
+	inst, err := nr.NewSharded(newSeqMap, 3,
+		nr.KeyRouter(3, func(op mapOp) string { return op.key }),
+		nr.WithNodes(1, 2, 1), nr.WithLogEntries(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	h, err := inst.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Execute(mapOp{key: "solo", val: 7})
+	owner := h.ShardOf(mapOp{key: "solo"})
+
+	resps := h.ExecuteAll(mapOp{get: true, key: "solo"})
+	if len(resps) != 3 {
+		t.Fatalf("ExecuteAll returned %d responses, want 3", len(resps))
+	}
+	for i, r := range resps {
+		if r.ok != (i == owner) {
+			t.Errorf("shard %d: ok=%v, want %v (owner %d)", i, r.ok, i == owner, owner)
+		}
+	}
+	if _, err := h.TryExecuteAll(mapOp{key: "solo", val: 8}); err != nil {
+		t.Errorf("TryExecuteAll on healthy shards: %v", err)
+	}
+}
+
+// TestShardedMetricsAndTrace checks that WithMetrics gives every shard its
+// own observer folded into one aggregate, and that a shared flight recorder
+// yields a single snapshot covering ops routed to different shards.
+func TestShardedMetricsAndTrace(t *testing.T) {
+	inst, err := nr.NewSharded(newSeqMap, 2,
+		nr.KeyRouter(2, func(op mapOp) string { return op.key }),
+		nr.WithNodes(1, 2, 1), nr.WithLogEntries(128),
+		nr.WithMetrics(), nr.WithFlightRecorder(nr.TraceConfig{RingSlots: 256}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	h, err := inst.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 64
+	var reads int
+	for i := 0; i < ops; i++ {
+		key := "k" + strconv.Itoa(i%16)
+		if i%2 == 0 {
+			h.Execute(mapOp{key: key, val: i})
+		} else {
+			h.Execute(mapOp{get: true, key: key})
+			reads++
+		}
+	}
+
+	m := inst.Metrics()
+	if len(m.Shards) != 2 {
+		t.Fatalf("Metrics.Shards has %d entries, want 2", len(m.Shards))
+	}
+	s := m.Aggregate.Stats
+	if got := s.ReadOps + s.UpdateOps; got != ops {
+		t.Errorf("aggregate ReadOps+UpdateOps = %d, want %d", got, ops)
+	}
+	if s.ReadOps != uint64(reads) {
+		t.Errorf("aggregate ReadOps = %d, want %d", s.ReadOps, reads)
+	}
+	// Per-shard observers are distinct: each shard observed only its own
+	// routed traffic, and the observations sum to the whole.
+	var obsOps uint64
+	for i, ms := range m.Shards {
+		if ms.Observed == nil {
+			t.Fatalf("shard %d: Observed is nil, want per-shard metrics", i)
+		}
+		obsOps += ms.Observed.Read.Count + ms.Observed.Update.Count
+	}
+	if obsOps != ops {
+		t.Errorf("per-shard observed ops sum = %d, want %d", obsOps, ops)
+	}
+	if h := inst.Health(); h.Poisoned {
+		t.Errorf("aggregate Health poisoned: %+v", h)
+	}
+
+	snap := inst.TraceSnapshot()
+	if len(snap.Rings) == 0 {
+		t.Fatal("TraceSnapshot has no rings; recorder not shared across shards?")
+	}
+	spans := nr.ReconstructSpans(snap)
+	if len(spans) == 0 {
+		t.Fatal("no spans reconstructed from sharded trace")
+	}
+	if inst.FlightRecorder() == nil {
+		t.Error("FlightRecorder() = nil with WithFlightRecorder set")
+	}
+}
+
+// TestShardedValidation covers constructor error paths.
+func TestShardedValidation(t *testing.T) {
+	router := nr.KeyRouter(1, func(op mapOp) string { return op.key })
+	if _, err := nr.NewSharded[mapOp, mapResp](nil, 1, router); err == nil {
+		t.Error("nil create accepted")
+	}
+	if _, err := nr.NewSharded(newSeqMap, 1, nil); err == nil {
+		t.Error("nil router accepted")
+	}
+	if _, err := nr.NewSharded(newSeqMap, 0, router); err == nil {
+		t.Error("zero shards accepted")
+	}
+}

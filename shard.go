@@ -1,0 +1,196 @@
+// Sharding surface of the nr package: NewSharded composes S independent NR
+// instances — each with its own shared log, replicas, and locks — behind a
+// router, breaking the single-log tail-CAS bottleneck (§5.1) that caps a
+// plain instance's update throughput. Operations with a routable key keep
+// full per-key linearizability (every op on a key lands in the same shard's
+// log); cross-shard fan-outs are per-shard linearizable only. See DESIGN.md
+// §11 "Sharding".
+package nr
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+
+	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/shard"
+)
+
+// Router maps an operation to the shard that owns it, in [0, shards). It
+// must be a pure function of the operation and stable for the instance's
+// lifetime: the shard it returns is where the operation's state lives, so
+// an unstable router splits a key's history across logs and forfeits that
+// key's linearizability. Routers must be safe for concurrent use.
+type Router[O any] func(op O) int
+
+// KeyRouter builds the ready-made key-hash Router: key extracts the
+// comparable routing key from an operation, and the router spreads keys
+// uniformly over shards with a randomly seeded hash (stable within one
+// instance's lifetime, deliberately not across processes — shards are not
+// a persistence boundary).
+func KeyRouter[O any, K comparable](shards int, key func(O) K) Router[O] {
+	seed := maphash.MakeSeed()
+	n := uint64(shards)
+	return func(op O) int {
+		return int(maphash.Comparable(seed, key(op)) % n)
+	}
+}
+
+// ShardedMetrics is the sharded observability snapshot: an aggregate
+// core-metrics view (counters summed, health OR-ed, gauges folded) plus the
+// per-shard breakdowns it was folded from. The aggregate's Observed field
+// is nil — latency percentiles do not merge — so per-class histograms live
+// in the per-shard entries.
+type ShardedMetrics = shard.Metrics
+
+// ShardedInstance is S independent NR instances behind one Router. Each
+// shard is a complete Instance — own log, own replicas per node, own
+// combiner and reader locks — built over the same software topology, so
+// update traffic routed to different shards contends on nothing at all.
+type ShardedInstance[O, R any] struct {
+	inner *shard.Instance[O, R]
+}
+
+// ShardedHandle executes operations on behalf of one registered goroutine:
+// one per-shard handle slot on every shard, all bound to the same node,
+// behind a single routing front. Like Handle, it is not safe for concurrent
+// use; register one per goroutine.
+type ShardedHandle[O, R any] struct {
+	inner *shard.Handle[O, R]
+}
+
+// NewSharded builds a sharded instance: shards independent NR instances
+// (create is invoked once per node per shard; replicas of a shard must
+// start identical, and shards start as S copies of the same empty
+// structure), routed by router. The options apply to every shard alike —
+// WithMetrics attaches a separate metrics observer per shard, while
+// WithObserver's observers and WithFlightRecorder's recorder are shared
+// across shards.
+func NewSharded[O, R any](create func() Sequential[O, R], shards int, router Router[O], options ...Option) (*ShardedInstance[O, R], error) {
+	if create == nil {
+		return nil, errors.New("nr: create function is nil")
+	}
+	if router == nil {
+		return nil, errors.New("nr: router is nil")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("nr: need at least one shard, got %d", shards)
+	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	inner, err := shard.New(shards, func(op O) int { return router(op) },
+		func(int) (*core.Instance[O, R], error) {
+			return core.New[O, R](func() core.Sequential[O, R] { return create() }, s.lower())
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedInstance[O, R]{inner: inner}, nil
+}
+
+// Register binds the calling goroutine to the next hardware-thread position
+// (fill placement, decided once and mirrored onto every shard so the
+// goroutine lands on the same node everywhere) and returns its handle.
+func (i *ShardedInstance[O, R]) Register() (*ShardedHandle[O, R], error) {
+	h, err := i.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedHandle[O, R]{inner: h}, nil
+}
+
+// RegisterOnNode binds the calling goroutine to an explicit NUMA node on
+// every shard.
+func (i *ShardedInstance[O, R]) RegisterOnNode(node int) (*ShardedHandle[O, R], error) {
+	h, err := i.inner.RegisterOnNode(node)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedHandle[O, R]{inner: h}, nil
+}
+
+// Shards returns the shard count.
+func (i *ShardedInstance[O, R]) Shards() int { return i.inner.Shards() }
+
+// Replicas returns the per-shard replica count (uniform across shards).
+func (i *ShardedInstance[O, R]) Replicas() int { return i.inner.Replicas() }
+
+// Metrics returns the aggregated observability snapshot with per-shard
+// breakdowns; see ShardedMetrics.
+func (i *ShardedInstance[O, R]) Metrics() ShardedMetrics { return i.inner.Metrics() }
+
+// Stats returns the aggregate counters (per-shard Stats summed).
+func (i *ShardedInstance[O, R]) Stats() Stats { return i.inner.Stats() }
+
+// Health returns the aggregate failure state: poisoned if any shard is,
+// with summed panic/stall counters and the union of stalled nodes. A
+// poisoned shard refuses only the operations routed to it; the per-shard
+// slice of Metrics shows which one it is.
+func (i *ShardedInstance[O, R]) Health() Health { return i.inner.Health() }
+
+// TraceSnapshot returns a point-in-time copy of the flight recorder's
+// contents. The recorder is shared across shards (each registered goroutine
+// records all of its shards' events into its own ring), so one snapshot
+// covers the whole sharded instance; it is the zero TraceSnapshot when the
+// instance was built without WithFlightRecorder.
+func (i *ShardedInstance[O, R]) TraceSnapshot() TraceSnapshot {
+	return i.inner.Shard(0).TraceSnapshot()
+}
+
+// FlightRecorder returns the shared recorder (nil without
+// WithFlightRecorder).
+func (i *ShardedInstance[O, R]) FlightRecorder() *FlightRecorder {
+	return i.inner.Shard(0).TraceRecorder()
+}
+
+// MemoryBytes sums the shards' footprints: every shard's log plus, for
+// replicas implementing interface{ MemoryBytes() uint64 }, the replicas.
+func (i *ShardedInstance[O, R]) MemoryBytes() uint64 { return i.inner.MemoryBytes() }
+
+// Quiesce brings every replica of every shard up to date with all completed
+// operations.
+func (i *ShardedInstance[O, R]) Quiesce() { i.inner.Quiesce() }
+
+// Close stops every shard's background goroutines (dedicated combiners,
+// stall watchdogs). Idempotent.
+func (i *ShardedInstance[O, R]) Close() { i.inner.Close() }
+
+// Inspect quiesces the given shard's replica on node and runs fn on its
+// sequential structure with the write lock held. fn must not retain the
+// structure.
+func (i *ShardedInstance[O, R]) Inspect(shardIdx, node int, fn func(s Sequential[O, R])) {
+	i.inner.Shard(shardIdx).InspectReplica(node, func(ds core.Sequential[O, R]) { fn(ds) })
+}
+
+// Execute routes op to its shard and runs it there with that shard's full
+// linearizable guarantees; ops sharing a routing key always share a shard,
+// so per-key histories are exactly as linearizable as under plain NR.
+// Contained panics re-raise here like Handle.Execute.
+func (h *ShardedHandle[O, R]) Execute(op O) R { return h.inner.Execute(op) }
+
+// TryExecute routes op to its shard, reporting contained failures as errors
+// (see Handle.TryExecute). Failures are shard-scoped: a poisoned shard
+// fails only the operations routed to it.
+func (h *ShardedHandle[O, R]) TryExecute(op O) (R, error) { return h.inner.TryExecute(op) }
+
+// ExecuteAll runs op on every shard in shard order and returns the
+// per-shard responses — the cross-shard fan-out for operations without a
+// single routable key (global counts, flushes). Semantics are per-shard
+// linearizable: each shard applies op at its own linearization point, with
+// no instant at which all shards are observed together — concurrent routed
+// updates may land between the per-shard applications. A contained failure
+// on any shard is re-raised as a panic; use TryExecuteAll for errors.
+func (h *ShardedHandle[O, R]) ExecuteAll(op O) []R { return h.inner.ExecuteAll(op) }
+
+// TryExecuteAll is ExecuteAll reporting contained failures as errors. Every
+// shard is attempted even when an earlier one fails; the first error comes
+// back alongside the responses (zero-valued at failed shards).
+func (h *ShardedHandle[O, R]) TryExecuteAll(op O) ([]R, error) { return h.inner.TryExecuteAll(op) }
+
+// ShardOf reports which shard the router sends op to.
+func (h *ShardedHandle[O, R]) ShardOf(op O) int { return h.inner.ShardOf(op) }
+
+// Node returns the node this handle is bound to (the same on every shard).
+func (h *ShardedHandle[O, R]) Node() int { return h.inner.Node() }
