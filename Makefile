@@ -10,12 +10,12 @@ GO ?= go
 # committed trajectory (BENCH_PR*.json) is never silently overwritten by a
 # default run: bump the default each PR, or override with
 # `make bench BENCH_OUT=/tmp/bench.json`.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
 # The packages where a data race is a protocol bug, not just a test bug.
 RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs
 
-.PHONY: tier1 tier1-race tier2 chaos check test build vet race bench lint
+.PHONY: tier1 tier1-race tier2 chaos chaos-recover check test build vet race bench lint
 
 tier1: ## build + vet + lint + unit tests (the acceptance gate)
 	$(GO) build ./...
@@ -38,8 +38,11 @@ tier2: ## vet + full race-detector run
 chaos: ## fault-injection suite under the race detector, fixed seeds
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-bench: ## real-implementation benchmark: recorder overhead block + shard sweep
-	$(GO) run ./cmd/nrbench -tracecmp -threads 8 -shards 1,2,4,8 -json $(BENCH_OUT)
+chaos-recover: ## kill-and-recover matrix only: crash/SIGKILL/torn-tail recovery under -race
+	$(GO) test -race -count=1 -v -run 'Recover|KillAndRecover' ./internal/chaos/
+
+bench: ## real-implementation benchmark: recorder overhead + shard sweep + persistence cost
+	$(GO) run ./cmd/nrbench -tracecmp -persistcmp -threads 8 -shards 1,2,4,8 -json $(BENCH_OUT)
 
 build:
 	$(GO) build ./...

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -41,25 +42,45 @@ func main() {
 		threads  = flag.Int("threads", 0, "with -real: worker goroutines (default GOMAXPROCS)")
 		readPct  = flag.Int("readpct", 90, "with -real: percentage of read operations")
 		shards   = flag.String("shards", "", "with -tracecmp: also sweep nr.NewSharded at these shard counts (e.g. 1,2,4,8)")
+		persist  = flag.Bool("persistcmp", false, "benchmark the durability cost: persistence off vs fsync-never vs group-fsync on an all-update workload")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	)
 	flag.Parse()
 
-	if *real || *tracecmp {
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *real || *tracecmp || *persist {
 		shardCounts, err := parseShardList(*shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
 			os.Exit(2)
 		}
 		cfg := realConfig{
-			Duration: *duration,
-			Threads:  *threads,
-			ReadPct:  *readPct,
-			JSONPath: *jsonPath,
-			Shards:   shardCounts,
+			Duration:   *duration,
+			Threads:    *threads,
+			ReadPct:    *readPct,
+			JSONPath:   *jsonPath,
+			Shards:     shardCounts,
+			PersistCmp: *persist,
 		}
 		run := runReal
-		if *tracecmp {
+		switch {
+		case *tracecmp:
 			run = runTraceCompare
+		case *persist && !*real:
+			run = runPersistOnly
 		}
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)

@@ -24,6 +24,9 @@ type realConfig struct {
 	// Shards, when non-empty, appends a sharding sweep (shard.go) to the
 	// -tracecmp run: one measurement per listed shard count.
 	Shards []int
+	// PersistCmp appends the durability-cost comparison (persist.go) to the
+	// -tracecmp run.
+	PersistCmp bool
 }
 
 // benchMap is the workload structure: a plain map, replicated by NR.
@@ -83,39 +86,31 @@ func (x *xorshift) next() uint64 {
 	return uint64(v)
 }
 
-// measureReal runs one measurement of the mixed workload and returns the
-// BENCH_PR2-schema result. With rec non-nil, the instance is built with the
-// flight recorder attached — the recorder-on arm of the overhead
-// comparison.
-func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
+// normalize fills the defaulted realConfig fields in place.
+func (cfg *realConfig) normalize() {
 	if cfg.Threads <= 0 {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
 	}
-	// Topology sized to the thread count: spread over up to 4 nodes like the
-	// paper's testbed, with room so registration cannot fail.
+}
+
+// topoOption sizes the modeled topology to the thread count: spread over up
+// to 4 nodes like the paper's testbed, with room so registration cannot
+// fail.
+func (cfg realConfig) topoOption() nr.Option {
 	nodes := 4
 	if cfg.Threads < nodes {
 		nodes = cfg.Threads
 	}
 	perNode := (cfg.Threads + nodes - 1) / nodes
-	opts := []nr.Option{
-		nr.WithNodes(nodes, perNode, 1),
-		nr.WithMetrics(),
-	}
-	if rec != nil {
-		opts = append(opts, nr.WithFlightRecorderInstance(rec))
-	}
-	inst, err := nr.New(
-		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
-		opts...,
-	)
-	if err != nil {
-		return realResult{}, err
-	}
+	return nr.WithNodes(nodes, perNode, 1)
+}
 
+// runWorkers drives the mixed workload against inst for cfg.Duration and
+// returns the op count and wall time.
+func runWorkers(inst *nr.Instance[benchOp, uint64], cfg realConfig) (uint64, time.Duration, error) {
 	const keyspace = 1 << 16
 	var stop atomic.Bool
 	var total atomic.Uint64
@@ -124,7 +119,7 @@ func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 	for t := 0; t < cfg.Threads; t++ {
 		h, err := inst.Register()
 		if err != nil {
-			return realResult{}, err
+			return 0, 0, err
 		}
 		wg.Add(1)
 		go func(h *nr.Handle[benchOp, uint64], seed uint64) {
@@ -146,8 +141,11 @@ func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
-	elapsed := time.Since(start)
+	return total.Load(), time.Since(start), nil
+}
 
+// foldResult reads the instance's metrics into the JSON schema.
+func foldResult(inst *nr.Instance[benchOp, uint64], cfg realConfig, total uint64, elapsed time.Duration) (realResult, error) {
 	m := inst.Metrics()
 	if m.Observed == nil {
 		return realResult{}, fmt.Errorf("metrics observer missing from instance built WithMetrics")
@@ -158,8 +156,8 @@ func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 		Threads:        cfg.Threads,
 		DurationSecs:   elapsed.Seconds(),
 		ReadPct:        cfg.ReadPct,
-		TotalOps:       total.Load(),
-		ThroughputOpsS: float64(total.Load()) / elapsed.Seconds(),
+		TotalOps:       total,
+		ThroughputOpsS: float64(total) / elapsed.Seconds(),
 		Read: latencyReport{
 			Count: o.Read.Count, P50Ns: o.Read.P50Ns, P99Ns: o.Read.P99Ns,
 			MeanNs: o.Read.MeanNs, MaxNs: o.Read.MaxNs,
@@ -174,6 +172,30 @@ func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 		CombinedOps: m.Stats.CombinedOps,
 	}
 	return res, nil
+}
+
+// measureReal runs one measurement of the mixed workload and returns the
+// BENCH_PR2-schema result. With rec non-nil, the instance is built with the
+// flight recorder attached — the recorder-on arm of the overhead
+// comparison.
+func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
+	cfg.normalize()
+	opts := []nr.Option{cfg.topoOption(), nr.WithMetrics()}
+	if rec != nil {
+		opts = append(opts, nr.WithFlightRecorderInstance(rec))
+	}
+	inst, err := nr.New(
+		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
+		opts...,
+	)
+	if err != nil {
+		return realResult{}, err
+	}
+	total, elapsed, err := runWorkers(inst, cfg)
+	if err != nil {
+		return realResult{}, err
+	}
+	return foldResult(inst, cfg, total, elapsed)
 }
 
 // printReal renders one measurement's summary to stdout.
@@ -233,14 +255,15 @@ type flightRecorderReport struct {
 	EventsInSnapshot  int     `json:"events_in_snapshot"`
 }
 
-// tracedResult is the BENCH_PR3/PR5.json schema: BENCH_PR2's fields (from
-// the recorder-off run, so the series stays comparable across PRs), the
-// flight-recorder overhead block, and — when -shards is given — the
-// sharding sweep.
+// tracedResult is the BENCH_PR3/PR5/PR6.json schema: BENCH_PR2's fields
+// (from the recorder-off run, so the series stays comparable across PRs),
+// the flight-recorder overhead block, and — when requested — the sharding
+// sweep and the durability-cost ladder.
 type tracedResult struct {
 	realResult
 	FlightRecorder flightRecorderReport `json:"flight_recorder"`
 	ShardSweep     *shardSweepReport    `json:"shard_sweep,omitempty"`
+	Persistence    *persistReport       `json:"persistence,omitempty"`
 }
 
 // runTraceCompare measures the same workload twice — recorder off, then
@@ -293,8 +316,31 @@ func runTraceCompare(cfg realConfig) error {
 		}
 		res.ShardSweep = sweep
 	}
+	if cfg.PersistCmp {
+		rep, err := runPersistCompare(cfg)
+		if err != nil {
+			return err
+		}
+		res.Persistence = rep
+	}
 	if jsonPath != "" {
 		return writeJSON(jsonPath, res)
+	}
+	return nil
+}
+
+// runPersistOnly is the standalone -persistcmp mode: just the durability
+// ladder, with the report as the whole JSON document.
+func runPersistOnly(cfg realConfig) error {
+	jsonPath := cfg.JSONPath
+	rep, err := runPersistCompare(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		return writeJSON(jsonPath, struct {
+			Persistence *persistReport `json:"persistence"`
+		}{rep})
 	}
 	return nil
 }

@@ -49,6 +49,9 @@ func main() {
 		smt     = flag.Int("smt", 2, "hardware threads per core")
 		seed    = flag.Uint64("seed", 1, "replica determinism seed")
 
+		appendOnly = flag.Bool("appendonly", false, "durable mode (nr method, 1 shard): append-only log + snapshots in -dir, recovered on start")
+		dataDir    = flag.String("dir", "nrredis-data", "data directory for -appendonly state")
+
 		traceOn    = flag.Bool("trace", true, "attach the flight recorder (nr method only): SLOWLOG + /debug/trace")
 		traceSlots = flag.Int("trace-slots", 4096, "flight-recorder ring slots per thread (rounded to a power of two)")
 		traceDump  = flag.String("trace-dump-dir", "", "directory for automatic black-box dumps on stall/panic/poison; empty disables")
@@ -69,19 +72,40 @@ func main() {
 		})
 	}
 	var shared miniredis.Shared
+	var persist *miniredis.Persistence
 	var err error
-	if *shards > 1 {
+	switch {
+	case *appendOnly:
+		if *method != miniredis.MethodNR {
+			log.Fatalf("nrredis: -appendonly requires -method nr (got %q)", *method)
+		}
+		if *shards > 1 {
+			log.Fatalf("nrredis: -appendonly supports a single shard (got -shards %d)", *shards)
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("nrredis: creating -dir: %v", err)
+		}
+		shared, persist, err = miniredis.NewPersistentShared(topo, *seed, *dataDir, rec)
+		if err == nil {
+			log.Printf("nrredis: durable keyspace in %s (replayed %d ops, dropped %d)",
+				*dataDir, persist.Recovered.Replayed, persist.Recovered.Dropped)
+		}
+	case *shards > 1:
 		if *method != miniredis.MethodNR {
 			log.Fatalf("nrredis: -shards applies only to -method nr (got %q)", *method)
 		}
 		shared, err = miniredis.NewShardedShared(topo, *seed, *shards, rec)
-	} else {
+	default:
 		shared, err = miniredis.NewSharedTraced(*method, topo, *seed, rec)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := miniredis.NewServer(shared, *workers, miniredis.WithRecorder(rec))
+	srvOpts := []miniredis.ServerOption{miniredis.WithRecorder(rec)}
+	if persist != nil {
+		srvOpts = append(srvOpts, miniredis.WithPersistence(persist))
+	}
+	srv, err := miniredis.NewServer(shared, *workers, srvOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +141,9 @@ func main() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "nrredis: shutting down")
 		srv.Close()
+		if persist != nil {
+			persist.Close() // final WAL fsync; a clean shutdown loses nothing
+		}
 	}()
 
 	log.Printf("nrredis: method=%s shards=%d workers=%d topology=%s", *method, *shards, *workers, topo)

@@ -108,5 +108,5 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns every nrlint analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CachePad, AtomicMix, NoAlloc, SpinLoop, ObsGuard}
+	return []*Analyzer{CachePad, AtomicMix, NoAlloc, SpinLoop, ObsGuard, NoIO}
 }

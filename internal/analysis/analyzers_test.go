@@ -26,3 +26,7 @@ func TestSpinLoop(t *testing.T) {
 func TestObsGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.ObsGuard, "obsguard")
 }
+
+func TestNoIO(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoIO, "noio")
+}

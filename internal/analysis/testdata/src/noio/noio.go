@@ -1,0 +1,65 @@
+// Package noio holds fixtures for the noio analyzer: direct os/syscall
+// calls, *os.File method calls, the interface-call blind spot, and the
+// //nr:iook escape hatch.
+package noio
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+type walPage struct {
+	buf  []byte
+	file *os.File
+	out  io.Writer
+}
+
+//nr:hotpath-noio
+func (p *walPage) appendRecord(rec []byte) {
+	p.buf = append(p.buf, rec...)
+}
+
+//nr:hotpath-noio
+func (p *walPage) syncInline(rec []byte) error {
+	if _, err := p.file.Write(rec); err != nil { // want "call to \\*os.File.Write in //nr:hotpath-noio function performs file I/O on a hot path"
+		return err
+	}
+	return p.file.Sync() // want "call to \\*os.File.Sync in //nr:hotpath-noio function performs file I/O on a hot path"
+}
+
+//nr:hotpath-noio
+func createInline(path string) {
+	f, err := os.Create(path) // want "call to os.Create in //nr:hotpath-noio function performs file I/O on a hot path"
+	if err == nil {
+		_ = f.Close() // want "call to \\*os.File.Close in //nr:hotpath-noio function performs file I/O on a hot path"
+	}
+	_ = syscall.Fsync(3) // want "call to syscall.Fsync in //nr:hotpath-noio function performs file I/O on a hot path"
+}
+
+//nr:hotpath-noio
+func coldFallback(p *walPage, rec []byte) {
+	if len(p.buf) > 0 {
+		p.buf = append(p.buf, rec...)
+		return
+	}
+	//nr:iook — once-per-process slow path, not reachable steady-state
+	_, _ = p.file.Write(rec)
+	_ = os.Remove("stale.lock") //nr:iook
+}
+
+// Interface dispatch is the documented blind spot: the analyzer cannot see
+// that p.out is backed by a file. Not flagged.
+//
+//nr:hotpath-noio
+func throughInterface(p *walPage, rec []byte) {
+	_, _ = p.out.Write(rec)
+}
+
+// Unannotated functions may do what they like.
+func flusher(p *walPage) error {
+	if _, err := p.file.Write(p.buf); err != nil {
+		return err
+	}
+	return p.file.Sync()
+}

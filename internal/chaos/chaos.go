@@ -32,7 +32,9 @@
 package chaos
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -120,17 +122,13 @@ func (d *DS) Execute(op Op) Result {
 // IsReadOnly classifies Sum as the only read.
 func (d *DS) IsReadOnly(op Op) bool { return op.Kind == KindSum }
 
+// Value returns one key's accumulated value (0 when absent); test-side
+// inspection only.
+func (d *DS) Value(k uint16) int64 { return d.vals[k] }
+
 // Fingerprint returns an order-independent digest of the accumulator's
 // contents; convergent replicas have equal fingerprints.
-func (d *DS) Fingerprint() uint64 {
-	var fp uint64
-	for k, v := range d.vals {
-		// Commutative combine (sum of per-pair mixes) so map iteration order
-		// does not matter.
-		fp += mix(uint64(k)<<32 ^ uint64(uint32(v)) ^ uint64(v)>>32)
-	}
-	return fp
-}
+func (d *DS) Fingerprint() uint64 { return FingerprintMap(d.vals) }
 
 // mix is splitmix64's finalizer: a cheap, well-distributed 64-bit mixer.
 func mix(x uint64) uint64 {
@@ -161,6 +159,95 @@ func (r *Rand) Intn(n int) int {
 		return 0
 	}
 	return int(r.Next() % uint64(n))
+}
+
+// SnapshotBytes serializes the accumulator for the durability harness
+// (nr.Snapshotter): u64 entry count, then sorted (u16 key, u64 value)
+// pairs. Sorted so identical states produce identical bytes.
+func (d *DS) SnapshotBytes() ([]byte, error) {
+	keys := make([]uint16, 0, len(d.vals))
+	for k := range d.vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := binary.LittleEndian.AppendUint64(nil, uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.LittleEndian.AppendUint16(out, k)
+		out = binary.LittleEndian.AppendUint64(out, uint64(d.vals[k]))
+	}
+	return out, nil
+}
+
+// RestoreDS inverts SnapshotBytes; nil data yields an empty accumulator,
+// so it serves directly as an nr.Recover restore function.
+func RestoreDS(data []byte) (*DS, error) {
+	d := NewDS()
+	if data == nil {
+		return d, nil
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("chaos: snapshot too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) != n*10 {
+		return nil, fmt.Errorf("chaos: snapshot claims %d entries, has %d bytes", n, len(data))
+	}
+	for i := uint64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint16(data[i*10:])
+		v := int64(binary.LittleEndian.Uint64(data[i*10+2:]))
+		d.vals[k] = v
+	}
+	return d, nil
+}
+
+// OpCodec is the hand-rolled fixed-width WAL codec for Op (nr.Codec):
+// kind u8 | key u16 | delta u64 | stall u64, 19 bytes, no allocation.
+type OpCodec struct{}
+
+// AppendEncode implements nr.Codec.
+func (OpCodec) AppendEncode(dst []byte, op Op) ([]byte, error) {
+	dst = append(dst, byte(op.Kind))
+	dst = binary.LittleEndian.AppendUint16(dst, op.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(op.Delta))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(op.Stall))
+	return dst, nil
+}
+
+// Decode implements nr.Codec.
+func (OpCodec) Decode(data []byte) (Op, error) {
+	if len(data) != 19 {
+		return Op{}, fmt.Errorf("chaos: op record is %d bytes, want 19", len(data))
+	}
+	return Op{
+		Kind:  Kind(data[0]),
+		Key:   binary.LittleEndian.Uint16(data[1:]),
+		Delta: int64(binary.LittleEndian.Uint64(data[3:])),
+		Stall: time.Duration(binary.LittleEndian.Uint64(data[11:])),
+	}, nil
+}
+
+// ApplyEffect folds op's state effect into m — the accumulator mutation op
+// makes when executed, including a KindPanic op's deterministic partial
+// mutation before its panic. Reads have no effect. Folding ApplyEffect
+// over a set of ops and fingerprinting with FingerprintMap yields the
+// fingerprint a replica must have after executing exactly that set.
+func ApplyEffect(m map[uint16]int64, op Op) {
+	switch op.Kind {
+	case KindSum:
+	default:
+		m[op.Key] += op.Delta
+	}
+}
+
+// FingerprintMap digests a bare accumulator state with the same
+// order-independent function as DS.Fingerprint.
+func FingerprintMap(m map[uint16]int64) uint64 {
+	var fp uint64
+	for k, v := range m {
+		fp += mix(uint64(k)<<32 ^ uint64(uint32(v)) ^ uint64(v)>>32)
+	}
+	return fp
 }
 
 // String renders an op for failure messages.

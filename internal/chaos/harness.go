@@ -112,6 +112,11 @@ type Report struct {
 	// TraceEvents counts the events a final recorder snapshot held, a
 	// sanity signal that the recorder was live. Populated with Trace.
 	TraceEvents int
+	// OrphansDrained reports that every abandoned op was forced to execute
+	// before fingerprints were taken (see run's drain pass); when false the
+	// effect-completeness invariant is skipped, since an unexecuted orphan
+	// legitimately leaves the expected state ambiguous.
+	OrphansDrained bool
 }
 
 // ErrDeadlock is returned by Run when workers fail to finish within the
@@ -216,8 +221,26 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 		return nil, fmt.Errorf("%w after %v; stats %+v health %+v",
 			ErrDeadlock, s.Timeout, inst.Stats(), inst.Health())
 	}
+	drained := true
+	if s.AbandonEveryN > 0 && !s.DisableCombining {
+		// Drain orphaned combining slots: one no-op update per node forces a
+		// combining round that scans the node's slots and executes any op a
+		// dead worker left behind. With every orphan executed, the
+		// effect-completeness invariant can fold abandoned ops into the
+		// expected state.
+		for n := 0; n < inst.Replicas(); n++ {
+			h, err := inst.RegisterOnNode(n)
+			if err != nil {
+				drained = false // out of slots: this node's orphans may be pending
+				continue
+			}
+			if _, err := h.TryExecute(Op{Kind: KindAdd, Key: 0, Delta: 0}); err != nil {
+				drained = false
+			}
+		}
+	}
 	inst.Quiesce()
-	rep := &Report{Schedule: s, Elapsed: time.Since(start)}
+	rep := &Report{Schedule: s, Elapsed: time.Since(start), OrphansDrained: drained}
 	for _, outs := range outcomes {
 		rep.Outcomes = append(rep.Outcomes, outs...)
 	}
@@ -258,8 +281,27 @@ func (s *Schedule) opFor(rng *Rand, t, seq int) Op {
 //     detector.
 //  4. Stall visibility: when stalls were injected and the watchdog enabled,
 //     Stats.Stalls must be nonzero.
+//  5. Effect completeness: replica state equals exactly the fold of every
+//     recorded op's effect — successful updates, panicking ops' partial
+//     mutations, and drained abandoned ops alike. Nothing executed twice,
+//     nothing silently skipped. Skipped when orphans could not be drained
+//     (OrphansDrained false) because an unexecuted orphan's effect is
+//     legitimately absent.
 func (r *Report) Check() []error {
 	var errs []error
+	if len(r.Fingerprints) > 0 && (r.Schedule.AbandonEveryN == 0 || r.OrphansDrained) {
+		expected := make(map[uint16]int64)
+		for _, o := range r.Outcomes {
+			// Panicking ops mutated before the panic; only a non-panic error
+			// (none expected; invariant 1 flags them) means no effect.
+			if o.Err == nil || errors.As(o.Err, new(*core.PanicError)) {
+				ApplyEffect(expected, o.Op)
+			}
+		}
+		if want := FingerprintMap(expected); r.Fingerprints[0] != want {
+			errs = append(errs, fmt.Errorf("replica state fingerprint %x != expected op-fold fingerprint %x (lost or duplicated effects)", r.Fingerprints[0], want))
+		}
+	}
 	for _, o := range r.Outcomes {
 		switch {
 		case o.Abandoned:

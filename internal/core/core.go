@@ -140,6 +140,19 @@ func (o *Options) fillDefaults() {
 	}
 }
 
+// Persister receives every update operation at log-append time, before
+// the entry's marker store makes it visible to replayers: idx is the
+// entry's absolute log index, token the op's flight-recorder identity
+// (node|slot|seq). Implementations must be concurrency-safe — combiners on
+// different nodes append concurrently — and must not call back into the
+// instance. Ordering matters: because Append happens before the entry is
+// visible, any thread that observes the entry applied (localTail past idx)
+// also observes the persister's bookkeeping for it, which is what makes a
+// concurrent checkpoint's token set complete.
+type Persister[O any] interface {
+	Append(idx uint64, token uint64, op O)
+}
+
 // Stats counts internal events; useful for tests and the ablation study.
 // It is one slice of the richer Metrics snapshot (metrics.go).
 type Stats struct {
@@ -229,6 +242,10 @@ type Instance[O, R any] struct {
 	observer obs.Observer
 	// rec mirrors opts.Trace (nil = flight recorder off).
 	rec *trace.Recorder
+	// persist, when non-nil, receives every update entry at append time
+	// (durability hook; see AttachPersister). Nil costs one branch per
+	// combining round / uncombined append.
+	persist Persister[O]
 	// profLabels holds per-node precomputed pprof label sets ([0] read,
 	// [1] update) for sampled op labeling; nil unless ProfileSampleRate > 0.
 	profLabels [][2]pprof.LabelSet
@@ -393,6 +410,26 @@ type Handle[O, R any] struct {
 
 // token returns the handle's current op token.
 func (h *Handle[O, R]) token() uint64 { return trace.Token(h.node, h.slot, h.seq) }
+
+// LastToken returns the op token (node|slot|seq) of the most recent
+// operation submitted through this handle — the identity under which the
+// flight recorder traces it and the persistence layer records it. Valid
+// after TryExecute/Execute returns or PostAndAbandon is called; zero
+// before the handle's first operation.
+func (h *Handle[O, R]) LastToken() uint64 { return h.token() }
+
+// AttachPersister installs p as the instance's durability hook. It must be
+// called before any operation executes — the hook cannot retroactively
+// cover entries already appended — and fails otherwise.
+func (i *Instance[O, R]) AttachPersister(p Persister[O]) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.log.Tail() != 0 {
+		return errors.New("core: AttachPersister after operations have executed")
+	}
+	i.persist = p
+	return nil
+}
 
 // ErrClosed is reported (wrapped, via errors.Is) by Register and
 // RegisterOnNode after Close on an instance configured with dedicated
@@ -665,6 +702,7 @@ func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
 // and, if the entry originated on r's node with a response slot, delivers
 // the outcome (value or error).
 //
+//nr:hotpath-noio
 //nr:noalloc
 func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ring *trace.Ring) {
 	res, err := i.safeExecute(r, e.op, idx)
@@ -723,6 +761,7 @@ func (i *Instance[O, R]) waitGet(node int, idx uint64, ring *trace.Ring) entry[O
 // combine is Algorithm 1's Combine: post the op, then either become the
 // combiner or wait for a response (a value or a contained panic).
 //
+//nr:hotpath-noio
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
@@ -761,6 +800,7 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 // combiner's timeline, joined to each op by token). The caller holds the
 // combiner lock; under ablation #3 that lock doubles as the replica lock.
 //
+//nr:hotpath-noio
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
@@ -819,6 +859,13 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 	// helping) still shows as a long pickup→reserve phase.
 	t1 := ring.Now()
 	ring.RecordAt(t1, trace.KLogReserve, int(r.id), start, uint64(len(batch)))
+	// Persist before Fill: the entry's marker store must publish the
+	// persister's bookkeeping along with the entry (see Persister).
+	if p := i.persist; p != nil {
+		for k, t := range batch {
+			p.Append(start+uint64(k), trace.Token(int(r.id), int(t.slot), t.s.seq), t.s.op)
+		}
+	}
 	for k, t := range batch {
 		i.log.Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot, seq: t.s.seq})
 		ring.RecordAt(t1, trace.KLogFill, int(r.id), trace.Token(int(r.id), int(t.slot), t.s.seq), start+uint64(k))
@@ -890,6 +937,7 @@ const uncombinedDeliveryWait = 2 * time.Second
 // (node, slot) tag: either our own replay below delivers it, or a same-node
 // thread that replayed past our entry first already has.
 //
+//nr:hotpath-noio
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
@@ -899,6 +947,10 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	s.state.Store(slotTaken) // awaiting response via log replay
 	start := i.reserveConsuming(r, 1, false, h.ring)
 	h.ring.Record(trace.KLogReserve, h.node, start, 1)
+	// Persist before Fill, as in runCombiner (see Persister).
+	if p := i.persist; p != nil {
+		p.Append(start, h.token(), op)
+	}
 	i.log.Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot), seq: h.seq})
 	h.ring.Record(trace.KLogFill, h.node, h.token(), start)
 	if i.opts.SerialReplicaUpdate {
@@ -1008,6 +1060,7 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 // Execute (§6), and done reports whether that resolved it. The body avoids
 // closures so the read hot path does not allocate.
 //
+//nr:hotpath-noio
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
@@ -1151,6 +1204,23 @@ func (i *Instance[O, R]) Quiesce() {
 		}
 		i.replicaWriteUnlock(r)
 	}
+}
+
+// CheckpointReplica quiesces node's replica to the completed tail, then
+// runs fn with the write lock held, passing the replica's applied index:
+// every log entry with index < applied is reflected in ds, none at or
+// beyond it. The persistence layer snapshots through this — the applied
+// index is the snapshot's replay resumption point.
+func (i *Instance[O, R]) CheckpointReplica(node int, fn func(ds Sequential[O, R], applied uint64)) {
+	r := i.replicas[node]
+	to := i.log.Completed()
+	i.replicaWriteLock(r)
+	for idx := r.localTail.Load(); idx < to; idx++ {
+		i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
+		r.localTail.Store(idx + 1)
+	}
+	fn(r.ds, r.localTail.Load())
+	i.replicaWriteUnlock(r)
 }
 
 // InspectReplica runs fn against node's replica with the write lock held,

@@ -101,6 +101,9 @@ type Server struct {
 	// rec is the keyspace's flight recorder (nil = tracing off); SLOWLOG
 	// and TraceHandler read it. See WithRecorder.
 	rec *trace.Recorder
+	// persist enables BGSAVE/LASTSAVE (nil = persistence off). See
+	// WithPersistence.
+	persist *Persistence
 
 	// commands counts every parsed command (INFO included); connTotal
 	// counts accepted connections over the server's lifetime.
@@ -140,6 +143,13 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 // /debug/trace with 404.
 func WithRecorder(rec *trace.Recorder) ServerOption {
 	return func(s *Server) { s.rec = rec }
+}
+
+// WithPersistence hands the server the durability controller from
+// NewPersistentShared, enabling the BGSAVE and LASTSAVE commands. Without
+// it both answer with an error.
+func WithPersistence(p *Persistence) ServerOption {
+	return func(s *Server) { s.persist = p }
 }
 
 // NewServer builds a server over the shared keyspace with the given worker
@@ -197,6 +207,24 @@ func (s *Server) Serve(addr string, ready func(net.Addr)) error {
 	if err != nil {
 		return err
 	}
+	return s.ServeListener(ln, ready)
+}
+
+// Accept-retry policy: a transient Accept failure (EMFILE under fd
+// pressure, ECONNABORTED, a momentary network hiccup) must not kill the
+// whole server. Retries back off exponentially and are bounded — a
+// persistently failing listener eventually surfaces its error rather than
+// spinning forever.
+const (
+	acceptRetryMax   = 10
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffCap = 1 * time.Second
+)
+
+// ServeListener accepts connections on an existing listener until Close,
+// retrying transient Accept errors with bounded exponential backoff. The
+// listener is owned by the server from here on (Close closes it).
+func (s *Server) ServeListener(ln net.Listener, ready func(net.Addr)) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -208,6 +236,8 @@ func (s *Server) Serve(addr string, ready func(net.Addr)) error {
 	if ready != nil {
 		ready(ln.Addr())
 	}
+	retries := 0
+	backoff := acceptBackoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -217,8 +247,20 @@ func (s *Server) Serve(addr string, ready func(net.Addr)) error {
 			if closed {
 				return nil
 			}
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err // listener gone for good; no point retrying
+			}
+			if retries++; retries > acceptRetryMax {
+				return fmt.Errorf("miniredis: accept failed %d times, last: %w", retries-1, err)
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffCap {
+				backoff = acceptBackoffCap
+			}
+			continue
 		}
+		retries = 0
+		backoff = acceptBackoffMin
 		if !s.track(conn) {
 			conn.Close() // lost the race with Close
 			continue
@@ -297,6 +339,16 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		// BGSAVE/LASTSAVE drive the durability controller, not the keyspace.
+		if len(args) == 1 && (strings.EqualFold(args[0], "BGSAVE") || strings.EqualFold(args[0], "LASTSAVE")) {
+			if err := s.persistCmd(w, args[0]); err != nil {
+				return
+			}
+			if err := s.flush(conn, w); err != nil {
+				return
+			}
+			continue
+		}
 		op, errMsg := ParseCommand(args)
 		if errMsg != "" {
 			if err := w.Error(errMsg); err != nil {
@@ -320,6 +372,24 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// persistCmd answers BGSAVE and LASTSAVE from the durability controller.
+func (s *Server) persistCmd(w *Writer, cmd string) error {
+	if s.persist == nil {
+		return w.Error("persistence not enabled (start the server with -appendonly)")
+	}
+	if strings.EqualFold(cmd, "BGSAVE") {
+		if s.persist.BgSave() {
+			return w.Simple("Background saving started")
+		}
+		return w.Error("background save already in progress")
+	}
+	var secs int64
+	if ls := s.persist.LastSave(); !ls.IsZero() {
+		secs = ls.Unix()
+	}
+	return w.Int(secs)
 }
 
 // armRead refreshes the per-connection read deadline for the next command.

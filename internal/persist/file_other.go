@@ -1,0 +1,13 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// syncData flushes f to disk. Without a portable fdatasync, a full Sync
+// is the conservative choice.
+func syncData(f *os.File) error { return f.Sync() }
+
+// startWriteback is a no-op without sync_file_range; the group sync does
+// all the waiting.
+func startWriteback(f *os.File, off, n int64) {}

@@ -519,9 +519,27 @@ func (r *Recorder) AutoDump(reason string) {
 	if r.cfg.DumpDir != "" {
 		n := r.dumpSeq.Add(1)
 		path := filepath.Join(r.cfg.DumpDir, fmt.Sprintf("nrtrace-%s-%d.json", reason, n))
-		if f, err := os.Create(path); err == nil {
-			_ = WriteChromeTrace(f, snap)
-			_ = f.Close()
+		writeDumpAtomic(path, snap)
+	}
+}
+
+// writeDumpAtomic writes a dump via temp file + rename so a crash mid-dump
+// (the black box is written precisely when the process is dying) never
+// leaves a torn nrtrace-*.json for post-mortem tooling to choke on.
+func writeDumpAtomic(path string, snap Snapshot) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".nrtrace-*.tmp")
+	if err != nil {
+		return
+	}
+	if err := WriteChromeTrace(f, snap); err == nil {
+		err = f.Close()
+		if err == nil {
+			err = os.Rename(f.Name(), path)
 		}
+	} else {
+		_ = f.Close()
+	}
+	if err != nil {
+		_ = os.Remove(f.Name())
 	}
 }

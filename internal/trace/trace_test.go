@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -192,6 +195,50 @@ func TestAutoDumpCallbackAndRateLimit(t *testing.T) {
 	if len(reasons) != 1 || reasons[0] != "stall" {
 		t.Fatalf("dump reasons = %v, want [stall]", reasons)
 	}
+}
+
+// TestAutoDumpFileIsAtomic: the black box must appear fully written or not
+// at all — a complete JSON file under the final name, with no .tmp litter
+// left behind (the temp + rename protocol cleaned up after itself).
+func TestAutoDumpFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	rec := New(Config{RingSlots: 16, DumpMinInterval: -1, DumpDir: dir})
+	rec.AcquireRing().Record(KStall, 0, 1, 0)
+	rec.AutoDump("stall")
+	rec.AutoDump("panic")
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("AutoDump left temp file %s behind", e.Name())
+			continue
+		}
+		dumps = append(dumps, e.Name())
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("dump files = %v, want 2", dumps)
+	}
+	for _, name := range dumps {
+		if !strings.HasPrefix(name, "nrtrace-") || !strings.HasSuffix(name, ".json") {
+			t.Errorf("dump file %s does not match nrtrace-<reason>-<n>.json", name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("dump %s is not complete JSON: %v", name, err)
+		}
+	}
+
+	// A dump into a missing directory must fail without leaving state.
+	rec2 := New(Config{RingSlots: 16, DumpMinInterval: -1, DumpDir: filepath.Join(dir, "missing")})
+	rec2.AutoDump("stall") // must not panic
 }
 
 func TestAutoDumpNoLimitDeliversEvery(t *testing.T) {

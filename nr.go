@@ -81,10 +81,12 @@ type Option func(*settings)
 
 // settings accumulates option state before it is lowered to core.Options.
 type settings struct {
-	cfg       Config
-	observers []obs.Observer
-	metrics   bool
-	trace     *trace.Recorder
+	cfg           Config
+	observers     []obs.Observer
+	metrics       bool
+	trace         *trace.Recorder
+	persist       *persistConfig
+	persistTuning []PersistOption
 }
 
 // WithConfig applies an entire Config struct, exactly as the pre-options
@@ -211,6 +213,7 @@ var ErrClosed = core.ErrClosed
 // Instance is a replicated, linearizable version of a sequential structure.
 type Instance[O, R any] struct {
 	inner *core.Instance[O, R]
+	pst   *persistence[O] // nil unless built with WithPersistence/Recover
 }
 
 // Handle executes operations on behalf of one registered goroutine. It is
@@ -271,7 +274,16 @@ func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance
 	if err != nil {
 		return nil, err
 	}
-	return &Instance[O, R]{inner: inner}, nil
+	inst := &Instance[O, R]{inner: inner}
+	if s.persist != nil {
+		pst, perr := attachPersistence(inst, s.persist)
+		if perr != nil {
+			inner.Close()
+			return nil, perr
+		}
+		inst.pst = pst
+	}
+	return inst, nil
 }
 
 // NewWithConfig builds an instance from a flat Config.
@@ -331,11 +343,18 @@ func (i *Instance[O, R]) MemoryBytes() uint64 { return i.inner.MemoryBytes() }
 // useful before inspecting replicas, never required for correctness.
 func (i *Instance[O, R]) Quiesce() { i.inner.Quiesce() }
 
-// Close stops the dedicated combiners, if configured. Existing handles
-// remain usable afterwards; on a dedicated-combiners instance new
-// registration is refused with ErrClosed. Close is idempotent and a no-op
-// otherwise.
-func (i *Instance[O, R]) Close() { i.inner.Close() }
+// Close stops the dedicated combiners, if configured, and — on a
+// persistent instance — flushes and closes the write-ahead log (call
+// SyncWAL first when the sticky WAL error matters; Close discards it).
+// Existing handles remain usable afterwards for in-memory operation; on a
+// dedicated-combiners instance new registration is refused with ErrClosed.
+// Close is idempotent and a no-op otherwise.
+func (i *Instance[O, R]) Close() {
+	i.inner.Close()
+	if i.pst != nil {
+		_ = i.pst.wal.Close()
+	}
+}
 
 // FakeUpdater is the optional fast path of §6: structures whose update
 // operations frequently turn out to be no-ops (removing an absent key) can
@@ -366,3 +385,18 @@ func (h *Handle[O, R]) TryExecute(op O) (R, error) { return h.inner.TryExecute(o
 
 // Node returns the node this handle is bound to.
 func (h *Handle[O, R]) Node() int { return h.inner.Node() }
+
+// PostAndAbandon submits an update without waiting for its response: the
+// op is published to this handle's combining slot and applied by whichever
+// combiner picks it up, while the caller moves on immediately. The
+// response is discarded. Capture LastToken right after the call to make
+// the abandoned op detectable after a crash.
+func (h *Handle[O, R]) PostAndAbandon(op O) { h.inner.PostAndAbandon(op) }
+
+// LastToken identifies the most recent operation submitted through this
+// handle: the flight-recorder token (node | combining slot | per-slot
+// sequence number) that also travels with the op into the write-ahead log
+// on persistent instances. Capture it after Execute/TryExecute/
+// PostAndAbandon returns and, after a crash, ask
+// Recovered.WasExecuted(token) whether that operation survived.
+func (h *Handle[O, R]) LastToken() uint64 { return h.inner.LastToken() }
