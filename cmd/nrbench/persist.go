@@ -126,7 +126,7 @@ func measurePersistArm(cfg realConfig, popts ...nr.PersistOption) (realResult, n
 		return realResult{}, nr.PersistStats{}, err
 	}
 	defer inst.Close()
-	total, elapsed, err := runWorkers(inst, cfg)
+	total, elapsed, err := runWorkers[benchOp, uint64](inst, cfg, mixedOpGen(cfg.ReadPct))
 	if err != nil {
 		return realResult{}, nr.PersistStats{}, err
 	}

@@ -27,6 +27,11 @@ type realConfig struct {
 	// PersistCmp appends the durability-cost comparison (persist.go) to the
 	// -tracecmp run.
 	PersistCmp bool
+	// BatchCmp appends the batch-policy ladder (batch.go) to the -tracecmp
+	// run; AssertBatchP99, when positive, makes an adaptive arm whose
+	// combiner_batch_p99 falls below it a hard failure.
+	BatchCmp       bool
+	AssertBatchP99 int
 }
 
 // benchMap is the workload structure: a plain map, replicated by NR.
@@ -108,31 +113,27 @@ func (cfg realConfig) topoOption() nr.Option {
 	return nr.WithNodes(nodes, perNode, 1)
 }
 
-// runWorkers drives the mixed workload against inst for cfg.Duration and
-// returns the op count and wall time.
-func runWorkers(inst *nr.Instance[benchOp, uint64], cfg realConfig) (uint64, time.Duration, error) {
-	const keyspace = 1 << 16
+// runWorkers drives a workload against any executor — single-log, sharded,
+// persistent — for cfg.Duration and returns the op count and wall time. gen
+// maps one PRNG draw to the next operation; every arm of every comparison
+// (real, persistence, sharding, batching) shares this one driver.
+func runWorkers[O, R any](exec nr.Executor[O, R], cfg realConfig, gen func(r uint64) O) (uint64, time.Duration, error) {
 	var stop atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < cfg.Threads; t++ {
-		h, err := inst.Register()
+		h, err := exec.RegisterExecutor()
 		if err != nil {
 			return 0, 0, err
 		}
 		wg.Add(1)
-		go func(h *nr.Handle[benchOp, uint64], seed uint64) {
+		go func(h nr.OpExecutor[O, R], seed uint64) {
 			defer wg.Done()
 			rng := xorshift(seed)
 			var ops uint64
 			for !stop.Load() {
-				r := rng.next()
-				op := benchOp{key: r % keyspace, val: r}
-				// r>>32 is uniform in [0, 2^32); compare against the read
-				// percentage scaled to that range.
-				op.write = (r>>32)%100 >= uint64(cfg.ReadPct)
-				h.Execute(op)
+				h.Execute(gen(rng.next()))
 				ops++
 			}
 			total.Add(ops)
@@ -144,8 +145,21 @@ func runWorkers(inst *nr.Instance[benchOp, uint64], cfg realConfig) (uint64, tim
 	return total.Load(), time.Since(start), nil
 }
 
-// foldResult reads the instance's metrics into the JSON schema.
-func foldResult(inst *nr.Instance[benchOp, uint64], cfg realConfig, total uint64, elapsed time.Duration) (realResult, error) {
+// mixedOpGen builds the map workload's op generator: uniform keys, the
+// given read percentage.
+func mixedOpGen(readPct int) func(r uint64) benchOp {
+	const keyspace = 1 << 16
+	return func(r uint64) benchOp {
+		op := benchOp{key: r % keyspace, val: r}
+		// r>>32 is uniform in [0, 2^32); compare against the read
+		// percentage scaled to that range.
+		op.write = (r>>32)%100 >= uint64(readPct)
+		return op
+	}
+}
+
+// foldResult reads the executor's metrics into the JSON schema.
+func foldResult(inst nr.Executor[benchOp, uint64], cfg realConfig, total uint64, elapsed time.Duration) (realResult, error) {
 	m := inst.Metrics()
 	if m.Observed == nil {
 		return realResult{}, fmt.Errorf("metrics observer missing from instance built WithMetrics")
@@ -191,7 +205,7 @@ func measureReal(cfg realConfig, rec *nr.FlightRecorder) (realResult, error) {
 	if err != nil {
 		return realResult{}, err
 	}
-	total, elapsed, err := runWorkers(inst, cfg)
+	total, elapsed, err := runWorkers[benchOp, uint64](inst, cfg, mixedOpGen(cfg.ReadPct))
 	if err != nil {
 		return realResult{}, err
 	}
@@ -255,15 +269,16 @@ type flightRecorderReport struct {
 	EventsInSnapshot  int     `json:"events_in_snapshot"`
 }
 
-// tracedResult is the BENCH_PR3/PR5/PR6.json schema: BENCH_PR2's fields
+// tracedResult is the BENCH_PR3/PR5/PR6/PR7.json schema: BENCH_PR2's fields
 // (from the recorder-off run, so the series stays comparable across PRs),
 // the flight-recorder overhead block, and — when requested — the sharding
-// sweep and the durability-cost ladder.
+// sweep, the durability-cost ladder, and the batch-policy ladder.
 type tracedResult struct {
 	realResult
 	FlightRecorder flightRecorderReport `json:"flight_recorder"`
 	ShardSweep     *shardSweepReport    `json:"shard_sweep,omitempty"`
 	Persistence    *persistReport       `json:"persistence,omitempty"`
+	BatchLadder    *batchLadderReport   `json:"batch_ladder,omitempty"`
 }
 
 // runTraceCompare measures the same workload twice — recorder off, then
@@ -322,6 +337,13 @@ func runTraceCompare(cfg realConfig) error {
 			return err
 		}
 		res.Persistence = rep
+	}
+	if cfg.BatchCmp {
+		rep, err := runBatchLadder(cfg, cfg.AssertBatchP99)
+		if err != nil {
+			return err
+		}
+		res.BatchLadder = rep
 	}
 	if jsonPath != "" {
 		return writeJSON(jsonPath, res)

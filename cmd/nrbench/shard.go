@@ -13,9 +13,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/ds"
@@ -93,43 +90,23 @@ func measureSharded(cfg realConfig, shards int) (shardPoint, error) {
 	defer inst.Close()
 
 	const keyspace = 1 << 16
-	var stop atomic.Bool
-	var total atomic.Uint64
-	var wg sync.WaitGroup
-	start := time.Now()
-	for t := 0; t < cfg.Threads; t++ {
-		h, err := inst.Register()
-		if err != nil {
-			return shardPoint{}, err
+	total, elapsed, err := runWorkers[ds.DictOp, ds.DictResult](inst, cfg, func(r uint64) ds.DictOp {
+		op := ds.DictOp{Kind: ds.DictInsert, Key: int64(r % keyspace), Value: r}
+		if (r>>32)%100 < uint64(cfg.ReadPct) {
+			op.Kind = ds.DictLookup
 		}
-		wg.Add(1)
-		go func(h *nr.ShardedHandle[ds.DictOp, ds.DictResult], seed uint64) {
-			defer wg.Done()
-			rng := xorshift(seed)
-			var ops uint64
-			for !stop.Load() {
-				r := rng.next()
-				op := ds.DictOp{Kind: ds.DictInsert, Key: int64(r % keyspace), Value: r}
-				if (r>>32)%100 < uint64(cfg.ReadPct) {
-					op.Kind = ds.DictLookup
-				}
-				h.Execute(op)
-				ops++
-			}
-			total.Add(ops)
-		}(h, uint64(2*t+1))
+		return op
+	})
+	if err != nil {
+		return shardPoint{}, err
 	}
-	time.Sleep(cfg.Duration)
-	stop.Store(true)
-	wg.Wait()
-	elapsed := time.Since(start)
 
 	return shardPoint{
 		Shards:         shards,
 		NodesPerShard:  nodesPerShard,
 		ThreadsPerNode: perNode,
-		TotalOps:       total.Load(),
-		ThroughputOpsS: float64(total.Load()) / elapsed.Seconds(),
+		TotalOps:       total,
+		ThroughputOpsS: float64(total) / elapsed.Seconds(),
 	}, nil
 }
 

@@ -31,7 +31,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
+	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/miniredis"
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
@@ -48,6 +50,7 @@ func main() {
 		cores   = flag.Int("cores", 14, "cores per node")
 		smt     = flag.Int("smt", 2, "hardware threads per core")
 		seed    = flag.Uint64("seed", 1, "replica determinism seed")
+		batch   = flag.String("batch", "none", "combiner batching policy (nr method only): none, adaptive, or a fixed linger window duration (e.g. 100us)")
 
 		appendOnly = flag.Bool("appendonly", false, "durable mode (nr method, 1 shard): append-only log + snapshots in -dir, recovered on start")
 		dataDir    = flag.String("dir", "nrredis-data", "data directory for -appendonly state")
@@ -71,6 +74,21 @@ func main() {
 			ProfileSampleRate: *traceProf,
 		})
 	}
+	var batchOpts []nr.Option
+	switch *batch {
+	case "none", "":
+	case "adaptive":
+		batchOpts = append(batchOpts, nr.WithBatchPolicy(nr.BatchAdaptive()))
+	default:
+		d, err := time.ParseDuration(*batch)
+		if err != nil || d <= 0 {
+			log.Fatalf("nrredis: -batch must be none, adaptive, or a positive duration (got %q)", *batch)
+		}
+		batchOpts = append(batchOpts, nr.WithBatchPolicy(nr.BatchPolicy{MaxLinger: d}))
+	}
+	if len(batchOpts) > 0 && *method != miniredis.MethodNR {
+		log.Fatalf("nrredis: -batch applies only to -method nr (got %q)", *method)
+	}
 	var shared miniredis.Shared
 	var persist *miniredis.Persistence
 	var err error
@@ -85,7 +103,7 @@ func main() {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("nrredis: creating -dir: %v", err)
 		}
-		shared, persist, err = miniredis.NewPersistentShared(topo, *seed, *dataDir, rec)
+		shared, persist, err = miniredis.NewPersistentShared(topo, *seed, *dataDir, rec, batchOpts...)
 		if err == nil {
 			log.Printf("nrredis: durable keyspace in %s (replayed %d ops, dropped %d)",
 				*dataDir, persist.Recovered.Replayed, persist.Recovered.Dropped)
@@ -94,9 +112,9 @@ func main() {
 		if *method != miniredis.MethodNR {
 			log.Fatalf("nrredis: -shards applies only to -method nr (got %q)", *method)
 		}
-		shared, err = miniredis.NewShardedShared(topo, *seed, *shards, rec)
+		shared, err = miniredis.NewShardedShared(topo, *seed, *shards, rec, batchOpts...)
 	default:
-		shared, err = miniredis.NewSharedTraced(*method, topo, *seed, rec)
+		shared, err = miniredis.NewSharedTraced(*method, topo, *seed, rec, batchOpts...)
 	}
 	if err != nil {
 		log.Fatal(err)

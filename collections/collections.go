@@ -68,9 +68,11 @@ func (s *seqMap[K, V]) IsReadOnly(op mapOp[K, V]) bool {
 	return op.kind == mapGet || op.kind == mapLen
 }
 
-// Map is a linearizable, NUMA-aware hash map.
+// Map is a linearizable, NUMA-aware hash map. It drives whatever
+// nr.Executor it is given — a plain instance under NewMap, a
+// hash-partitioned one under NewShardedMap — through the same typed API.
 type Map[K comparable, V any] struct {
-	inst *nr.Instance[mapOp[K, V], mapResp[V]]
+	exec nr.Executor[mapOp[K, V], mapResp[V]]
 }
 
 // NewMap builds a map replicated per the given nr options (default topology
@@ -82,17 +84,17 @@ func NewMap[K comparable, V any](opts ...nr.Option) (*Map[K, V], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Map[K, V]{inst: inst}, nil
+	return &Map[K, V]{exec: inst}, nil
 }
 
 // MapHandle executes map operations for one goroutine.
 type MapHandle[K comparable, V any] struct {
-	h *nr.Handle[mapOp[K, V], mapResp[V]]
+	h nr.OpExecutor[mapOp[K, V], mapResp[V]]
 }
 
 // Register binds the calling goroutine to the map.
 func (m *Map[K, V]) Register() (*MapHandle[K, V], error) {
-	h, err := m.inst.Register()
+	h, err := m.exec.RegisterExecutor()
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +102,14 @@ func (m *Map[K, V]) Register() (*MapHandle[K, V], error) {
 }
 
 // Stats exposes the underlying NR counters.
-func (m *Map[K, V]) Stats() nr.Stats { return m.inst.Stats() }
+func (m *Map[K, V]) Stats() nr.Stats { return m.exec.Stats() }
+
+// Metrics exposes the unified observability snapshot (aggregate when
+// sharded).
+func (m *Map[K, V]) Metrics() nr.Metrics { return m.exec.Metrics() }
+
+// Close stops the underlying instance's background goroutines.
+func (m *Map[K, V]) Close() { m.exec.Close() }
 
 // Get returns the value stored under key.
 func (h *MapHandle[K, V]) Get(key K) (V, bool) {

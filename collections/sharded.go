@@ -12,7 +12,13 @@ import (
 // semantics: it sums counts taken at each shard's own linearization point,
 // so concurrent updates may or may not be included, though the result is
 // always a size the map could have had.
+//
+// ShardedMap embeds Map: all per-key operations and instance-wide
+// observability flow through the same Executor-typed code path as the plain
+// map; only the sharded extras (Shards, ShardMetrics, the Len fan-out) live
+// here.
 type ShardedMap[K comparable, V any] struct {
+	Map[K, V]
 	inst *nr.ShardedInstance[mapOp[K, V], mapResp[V]]
 }
 
@@ -26,12 +32,14 @@ func NewShardedMap[K comparable, V any](shards int, opts ...nr.Option) (*Sharded
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedMap[K, V]{inst: inst}, nil
+	return &ShardedMap[K, V]{Map: Map[K, V]{exec: inst}, inst: inst}, nil
 }
 
-// ShardedMapHandle executes map operations for one goroutine.
+// ShardedMapHandle executes map operations for one goroutine: MapHandle's
+// per-key operations verbatim, plus the cross-shard Len fan-out.
 type ShardedMapHandle[K comparable, V any] struct {
-	h *nr.ShardedHandle[mapOp[K, V], mapResp[V]]
+	MapHandle[K, V]
+	all *nr.ShardedHandle[mapOp[K, V], mapResp[V]]
 }
 
 // Register binds the calling goroutine to the map (one handle slot on every
@@ -41,42 +49,23 @@ func (m *ShardedMap[K, V]) Register() (*ShardedMapHandle[K, V], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedMapHandle[K, V]{h: h}, nil
+	return &ShardedMapHandle[K, V]{MapHandle: MapHandle[K, V]{h: h}, all: h}, nil
 }
 
 // Shards returns the shard count.
 func (m *ShardedMap[K, V]) Shards() int { return m.inst.Shards() }
 
-// Stats exposes the aggregate NR counters (per-shard counters summed).
-func (m *ShardedMap[K, V]) Stats() nr.Stats { return m.inst.Stats() }
-
-// Metrics exposes the aggregated snapshot with per-shard breakdowns.
-func (m *ShardedMap[K, V]) Metrics() nr.ShardedMetrics { return m.inst.Metrics() }
-
-// Close stops every shard's background goroutines.
-func (m *ShardedMap[K, V]) Close() { m.inst.Close() }
-
-// Get returns the value stored under key.
-func (h *ShardedMapHandle[K, V]) Get(key K) (V, bool) {
-	r := h.h.Execute(mapOp[K, V]{kind: mapGet, key: key})
-	return r.val, r.ok
-}
-
-// Put stores val under key, reporting whether the key was newly inserted.
-func (h *ShardedMapHandle[K, V]) Put(key K, val V) bool {
-	return h.h.Execute(mapOp[K, V]{kind: mapPut, key: key, val: val}).ok
-}
-
-// Delete removes key, reporting whether it was present.
-func (h *ShardedMapHandle[K, V]) Delete(key K) bool {
-	return h.h.Execute(mapOp[K, V]{kind: mapDelete, key: key}).ok
-}
+// ShardMetrics exposes the full sharded snapshot: the aggregate plus
+// per-shard breakdowns. The embedded Map's Metrics returns the aggregate
+// alone.
+func (m *ShardedMap[K, V]) ShardMetrics() nr.ShardedMetrics { return m.inst.ShardMetrics() }
 
 // Len sums the shard sizes — a cross-shard fan-out, per-shard linearizable
-// only (see ShardedMap).
+// only (see ShardedMap). It shadows MapHandle.Len, which would route the
+// keyless length op to an arbitrary single shard.
 func (h *ShardedMapHandle[K, V]) Len() int {
 	total := 0
-	for _, r := range h.h.ExecuteAll(mapOp[K, V]{kind: mapLen}) {
+	for _, r := range h.all.ExecuteAll(mapOp[K, V]{kind: mapLen}) {
 		total += r.n
 	}
 	return total

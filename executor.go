@@ -1,0 +1,85 @@
+// Unified execution surface of the nr package: Executor abstracts over
+// *Instance and *ShardedInstance so code that drives a replicated structure
+// — containers, servers, benchmarks, chaos harnesses — is written once and
+// runs against either deployment shape. See DESIGN.md §4 and README
+// "The Executor interface".
+package nr
+
+// OpExecutor executes operations on behalf of one registered goroutine —
+// the common surface of *Handle and *ShardedHandle. Like the concrete
+// handles, an OpExecutor is not safe for concurrent use; obtain one per
+// goroutine via Executor.RegisterExecutor.
+//
+// Implementations beyond the two handle types are welcome (the miniredis
+// baselines wrap locks in the same shape), but an OpExecutor obtained from
+// RegisterExecutor may always be type-asserted back to its concrete handle
+// when the extra methods (PostAndAbandon, ExecuteAll, LastToken) matter.
+type OpExecutor[O, R any] interface {
+	// Execute runs op with the instance's full consistency guarantees,
+	// re-raising contained user panics (see Handle.Execute).
+	Execute(op O) R
+	// TryExecute runs op, reporting contained failures as errors (see
+	// Handle.TryExecute).
+	TryExecute(op O) (R, error)
+	// Node returns the NUMA node this executor is bound to.
+	Node() int
+}
+
+// Executor is the uniform instance surface satisfied by both *Instance and
+// *ShardedInstance: registration, observability, and lifecycle. Code that
+// takes an Executor works unchanged over a single shared log or a
+// hash-partitioned one — the collections containers, the miniredis
+// keyspace, the chaos harness, and nrbench all consume this interface
+// rather than duplicating single/sharded wiring.
+type Executor[O, R any] interface {
+	// RegisterExecutor binds the calling goroutine to the next
+	// hardware-thread position and returns its per-goroutine executor. It
+	// is Register with the concrete handle type erased; the returned value
+	// is the same *Handle or *ShardedHandle the typed method would return.
+	RegisterExecutor() (OpExecutor[O, R], error)
+	// Stats returns the instance's internal counters (for sharded
+	// instances, per-shard counters summed).
+	Stats() Stats
+	// Metrics returns the unified observability snapshot (for sharded
+	// instances, the aggregate; see ShardedInstance.ShardMetrics for the
+	// per-shard breakdown).
+	Metrics() Metrics
+	// Health reports the failure state (for sharded instances, the
+	// aggregate: poisoned if any shard is).
+	Health() Health
+	// Quiesce brings every replica up to date with all completed
+	// operations.
+	Quiesce()
+	// Close stops background goroutines and flushes persistence, if
+	// configured. Idempotent.
+	Close()
+}
+
+// Both deployment shapes satisfy Executor; a compile error here means the
+// interface and the concrete types have drifted.
+var (
+	_ Executor[int, int]   = (*Instance[int, int])(nil)
+	_ Executor[int, int]   = (*ShardedInstance[int, int])(nil)
+	_ OpExecutor[int, int] = (*Handle[int, int])(nil)
+	_ OpExecutor[int, int] = (*ShardedHandle[int, int])(nil)
+)
+
+// RegisterExecutor implements Executor; it is Register returning the
+// interface type.
+func (i *Instance[O, R]) RegisterExecutor() (OpExecutor[O, R], error) {
+	h, err := i.Register()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// RegisterExecutor implements Executor; it is Register returning the
+// interface type.
+func (i *ShardedInstance[O, R]) RegisterExecutor() (OpExecutor[O, R], error) {
+	h, err := i.Register()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}

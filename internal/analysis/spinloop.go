@@ -16,8 +16,12 @@ import (
 //     (runtime.Gosched, time.Sleep, a channel operation, a blocking
 //     Lock/RLock/Wait call) or do real work (any call other than the
 //     spin-read set below). Pure spin reads — atomic Load/CompareAndSwap,
-//     TryLock, Locked, and the log/lock tail accessors Tail/Completed/
-//     HeldSince/HeldFor — do not count as progress.
+//     TryLock, Locked, the log/lock tail accessors Tail/Completed/
+//     HeldSince/HeldFor, and the clock reads Now/Since/Before/After/Until
+//     that deadline-polling linger windows are built from — do not count
+//     as progress. A combiner that polls `time.Now().Before(deadline)`
+//     waiting for slots to fill is spinning exactly like one polling an
+//     atomic flag, and must Gosched so the would-be batch members can run.
 //
 //  2. An infinite loop (`for {}`) in a method of a type that owns a `stop`
 //     channel or `poisoned` flag must reference that field or contain some
@@ -39,6 +43,10 @@ var SpinLoop = &Analyzer{
 var spinReadNames = map[string]bool{
 	"Load": true, "CompareAndSwap": true, "TryLock": true, "Locked": true,
 	"Tail": true, "Completed": true, "HeldSince": true, "HeldFor": true,
+	// Clock reads: a linger window polling time.Now().Before(deadline) is a
+	// busy-wait like any other. (`<-time.After(d)` still yields — the
+	// channel receive counts, not the call.)
+	"Now": true, "Since": true, "Before": true, "After": true, "Until": true,
 }
 
 // yieldNames are calls that give the scheduler (or another goroutine) a

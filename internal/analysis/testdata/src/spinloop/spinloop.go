@@ -86,6 +86,42 @@ func goodChannelWait(f *flag, ch chan struct{}) {
 	}
 }
 
+// Linger windows: a combiner polling a deadline is spinning on the clock.
+// time.Now/Before/Since are spin reads, not work.
+
+//nr:spin
+func badLinger(f *flag, deadline time.Time) {
+	for time.Now().Before(deadline) { // want "busy-wait loop in //nr:spin function badLinger may spin"
+		if f.v.Load() != 0 {
+			return
+		}
+	}
+}
+
+//nr:spin
+func goodLinger(f *flag, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		if f.v.Load() != 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+//nr:spin
+func badSinceWindow(f *flag, start time.Time, window time.Duration) {
+	for time.Since(start) < window { // want "busy-wait loop in //nr:spin function badSinceWindow may spin"
+		_ = f.v.Load()
+	}
+}
+
+//nr:spin
+func goodAfterWait(f *flag) {
+	for f.v.Load() == 0 {
+		<-time.After(time.Microsecond) // the receive yields, not the call
+	}
+}
+
 func unannotated(f *flag) {
 	for f.v.Load() == 0 {
 		// not annotated: not checked

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asplos17/nr/internal/core"
+)
+
+// TestLingerWindowFaults injects panics and stalls into combining rounds
+// that linger: a fault arriving inside the window must be contained like
+// any other (submitter gets its PanicError, the watchdog sees the stall,
+// replicas converge) while the policy keeps forming batches around it.
+func TestLingerWindowFaults(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 4,
+		OpsPerThread:   300,
+		PanicEveryN:    17,
+		StallEveryN:    60,
+		StallFor:       2 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+		Batch:          core.BatchPolicy{MinBatch: 4, MaxLinger: 200 * time.Microsecond},
+	})
+}
+
+// TestAdaptiveLingerFaults is the same pressure under the adaptive policy:
+// the window learned from arrival rates must not turn injected faults into
+// liveness or convergence failures.
+func TestAdaptiveLingerFaults(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 4,
+		OpsPerThread: 400,
+		LogEntries:   32,
+		PanicEveryN:  13,
+		ReadFraction: 10,
+		Batch:        core.BatchPolicy{Adaptive: true, MaxLinger: time.Millisecond},
+	})
+}
+
+// TestParallelCombiningFaults drives the parallel handoff path (commuting
+// ParDS) with panics and goroutine death layered on top: an abandoned add
+// can land in a parallel batch where nobody claims its handoff, and a
+// panic op (undeclared, serial) can share a round with parallel adds. The
+// invariants are unchanged — everything contained, replicas convergent,
+// effects exactly the op fold.
+func TestParallelCombiningFaults(t *testing.T) {
+	s := Schedule{
+		Nodes: 2, CoresPerNode: 12,
+		Threads:       8,
+		OpsPerThread:  250,
+		PanicEveryN:   29,
+		AbandonEveryN: 50,
+		Batch:         core.BatchPolicy{MaxLinger: time.Millisecond, Parallel: true},
+	}
+	runAndCheck(t, s)
+	// At least one fixed seed must actually exercise the parallel path;
+	// otherwise this test silently degrades to TestGoroutineDeath.
+	var parallelOps uint64
+	for _, seed := range fixedSeeds {
+		s.Seed = seed
+		rep, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		parallelOps += rep.Stats.ParallelOps
+	}
+	if parallelOps == 0 {
+		t.Error("no schedule took the parallel combining path; ParallelOps = 0 across all seeds")
+	}
+}
+
+// TestShardedBatchPolicy runs the adaptive policy through the sharded
+// harness: batching is per-shard machinery and must compose with routing
+// and the Sum fan-out.
+func TestShardedBatchPolicy(t *testing.T) {
+	for _, seed := range fixedSeeds {
+		rep, err := RunSharded(Schedule{
+			Seed:  seed,
+			Nodes: 2, CoresPerNode: 4,
+			OpsPerThread: 200,
+			PanicEveryN:  19,
+			Batch:        core.BatchPolicy{Adaptive: true, MaxLinger: time.Millisecond},
+		}, 4)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		for _, v := range rep.CheckSharded() {
+			t.Errorf("seed %#x: invariant violated: %v", seed, v)
+		}
+	}
+}

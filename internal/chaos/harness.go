@@ -43,7 +43,15 @@ type Schedule struct {
 	// DedicatedCombiners / DisableCombining / MinBatch mirror core.Options.
 	DedicatedCombiners bool
 	DisableCombining   bool
-	MinBatch           int
+	// MinBatch mirrors the deprecated core.Options.MinBatch shim; schedules
+	// should set Batch instead.
+	MinBatch int
+	// Batch is the combiner batching policy under test (linger windows,
+	// adaptivity, parallel combining). When Batch.Parallel is set the run
+	// replicates the commuting accumulator (ParDS) instead of DS, so
+	// declared-independent adds actually take the parallel handoff path —
+	// and injected faults land inside linger windows and parallel rounds.
+	Batch core.BatchPolicy
 	// StallThreshold enables the core watchdog (default 1ms when
 	// StallEveryN > 0, else off).
 	StallThreshold time.Duration
@@ -146,11 +154,12 @@ func Run(s Schedule) (*Report, error) {
 		})
 	}
 	inst, err := core.New[Op, Result](
-		func() core.Sequential[Op, Result] { return NewDS() },
+		s.newDS(),
 		core.Options{
 			Topology:           topology.New(s.Nodes, s.CoresPerNode, 1),
 			LogEntries:         s.LogEntries,
 			MinBatch:           s.MinBatch,
+			Batch:              s.Batch,
 			DedicatedCombiners: s.DedicatedCombiners,
 			DisableCombining:   s.DisableCombining,
 			StallThreshold:     s.StallThreshold,
@@ -170,35 +179,72 @@ func Run(s Schedule) (*Report, error) {
 	return rep, err
 }
 
-// run drives s's workers against inst (already configured). Extracted so
-// divergence tests can supply their own instance.
-func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
-	start := time.Now()
+// newDS picks the replicated structure for the schedule: the plain
+// accumulator, or the commuting one when parallel combining is under test
+// (DS's add responses are order-dependent, so it must not declare them).
+func (s *Schedule) newDS() func() core.Sequential[Op, Result] {
+	if s.Batch.Parallel {
+		return func() core.Sequential[Op, Result] { return NewParDS() }
+	}
+	return func() core.Sequential[Op, Result] { return NewDS() }
+}
+
+// fingerprinter is how the harness digests a replica without knowing which
+// accumulator variant it replicated.
+type fingerprinter interface{ Fingerprint() uint64 }
+
+// chaosWorker is the per-worker execution front the shared driver drives —
+// the nr.OpExecutor surface. The chaos extras are optional capabilities
+// probed per handle, which is what lets one loop serve both deployment
+// shapes instead of the former duplicated single/sharded copies.
+type chaosWorker interface {
+	TryExecute(op Op) (Result, error)
+	Node() int
+}
+
+// fanWorker is the cross-shard capability (sharded handles): Sum fans out
+// and returns the per-shard totals.
+type fanWorker interface {
+	TryExecuteAll(op Op) ([]Result, error)
+}
+
+// abandonWorker is the death-injection capability (plain handles): post an
+// op and walk away mid-protocol.
+type abandonWorker interface {
+	PostAndAbandon(op Op)
+}
+
+// runWorkers drives s's seeded op streams through workers minted by
+// register, re-registering via registerOnNode after an abandonment. diag
+// renders instance state for the deadlock error. Returns the flattened
+// outcomes in thread order.
+func runWorkers(s Schedule, register func() (chaosWorker, error), registerOnNode func(int) (chaosWorker, error), diag func() string) ([]Outcome, error) {
 	outcomes := make([][]Outcome, s.Threads)
-	var wg sync.WaitGroup
-	handles := make([]*core.Handle[Op, Result], s.Threads)
-	for t := 0; t < s.Threads; t++ {
-		h, err := inst.Register()
+	workers := make([]chaosWorker, s.Threads)
+	for t := range workers {
+		w, err := register()
 		if err != nil {
 			return nil, fmt.Errorf("chaos: registering worker %d: %w", t, err)
 		}
-		handles[t] = h
+		workers[t] = w
 	}
+	var wg sync.WaitGroup
 	for t := 0; t < s.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			h := handles[t]
+			h := workers[t]
 			rng := NewRand(s.Seed ^ mix(uint64(t)+1))
 			outs := make([]Outcome, 0, s.OpsPerThread)
 			for seq := 0; seq < s.OpsPerThread; seq++ {
 				op := s.opFor(rng, t, seq)
-				if s.AbandonEveryN > 0 && !s.DisableCombining && seq%s.AbandonEveryN == s.AbandonEveryN-1 {
-					h.PostAndAbandon(op)
+				if aw, ok := h.(abandonWorker); ok &&
+					s.AbandonEveryN > 0 && !s.DisableCombining && seq%s.AbandonEveryN == s.AbandonEveryN-1 {
+					aw.PostAndAbandon(op)
 					outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Abandoned: true})
 					// The abandoned handle is dead; take a fresh slot on the
 					// same node, as a restarted worker would.
-					nh, err := inst.RegisterOnNode(h.Node())
+					nh, err := registerOnNode(h.Node())
 					if err != nil {
 						// Node out of slots: stop this worker. Recorded ops
 						// up to here still count.
@@ -207,7 +253,19 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 					h = nh
 					continue
 				}
-				resp, err := h.TryExecute(op)
+				var (
+					resp Result
+					err  error
+				)
+				if fw, ok := h.(fanWorker); ok && op.Kind == KindSum {
+					resps, allErr := fw.TryExecuteAll(op)
+					for _, r := range resps {
+						resp.Value += r.Value
+					}
+					err = allErr
+				} else {
+					resp, err = h.TryExecute(op)
+				}
 				outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Resp: resp, Err: err})
 			}
 			outcomes[t] = outs
@@ -218,8 +276,37 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 	select {
 	case <-done:
 	case <-time.After(s.Timeout):
-		return nil, fmt.Errorf("%w after %v; stats %+v health %+v",
-			ErrDeadlock, s.Timeout, inst.Stats(), inst.Health())
+		return nil, fmt.Errorf("%w after %v; %s", ErrDeadlock, s.Timeout, diag())
+	}
+	var all []Outcome
+	for _, outs := range outcomes {
+		all = append(all, outs...)
+	}
+	return all, nil
+}
+
+// run drives s's workers against inst (already configured). Extracted so
+// divergence tests can supply their own instance.
+func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
+	start := time.Now()
+	all, err := runWorkers(s,
+		func() (chaosWorker, error) {
+			h, err := inst.Register()
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+		func(node int) (chaosWorker, error) {
+			h, err := inst.RegisterOnNode(node)
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+		func() string { return fmt.Sprintf("stats %+v health %+v", inst.Stats(), inst.Health()) })
+	if err != nil {
+		return nil, err
 	}
 	drained := true
 	if s.AbandonEveryN > 0 && !s.DisableCombining {
@@ -240,13 +327,10 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 		}
 	}
 	inst.Quiesce()
-	rep := &Report{Schedule: s, Elapsed: time.Since(start), OrphansDrained: drained}
-	for _, outs := range outcomes {
-		rep.Outcomes = append(rep.Outcomes, outs...)
-	}
+	rep := &Report{Schedule: s, Elapsed: time.Since(start), OrphansDrained: drained, Outcomes: all}
 	for n := 0; n < inst.Replicas(); n++ {
 		inst.InspectReplica(n, func(ds core.Sequential[Op, Result]) {
-			rep.Fingerprints = append(rep.Fingerprints, ds.(*DS).Fingerprint())
+			rep.Fingerprints = append(rep.Fingerprints, ds.(fingerprinter).Fingerprint())
 		})
 	}
 	rep.Stats = inst.Stats()

@@ -73,11 +73,12 @@ func RunSharded(s Schedule, shards int) (*ShardedReport, error) {
 		func(op Op) int { return int(op.Key) % shards },
 		func(int) (*core.Instance[Op, Result], error) {
 			return core.New[Op, Result](
-				func() core.Sequential[Op, Result] { return NewDS() },
+				s.newDS(),
 				core.Options{
 					Topology:           topology.New(s.Nodes, s.CoresPerNode, 1),
 					LogEntries:         s.LogEntries,
 					MinBatch:           s.MinBatch,
+					Batch:              s.Batch,
 					DedicatedCombiners: s.DedicatedCombiners,
 					DisableCombining:   s.DisableCombining,
 					StallThreshold:     s.StallThreshold,
@@ -90,63 +91,36 @@ func RunSharded(s Schedule, shards int) (*ShardedReport, error) {
 	defer inst.Close()
 
 	start := time.Now()
-	outcomes := make([][]Outcome, s.Threads)
-	handles := make([]*shard.Handle[Op, Result], s.Threads)
-	for t := 0; t < s.Threads; t++ {
-		h, err := inst.Register()
-		if err != nil {
-			return nil, fmt.Errorf("chaos: registering worker %d: %w", t, err)
-		}
-		handles[t] = h
-	}
-	var wg sync.WaitGroup
-	for t := 0; t < s.Threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			h := handles[t]
-			rng := NewRand(s.Seed ^ mix(uint64(t)+1))
-			outs := make([]Outcome, 0, s.OpsPerThread)
-			for seq := 0; seq < s.OpsPerThread; seq++ {
-				op := s.opFor(rng, t, seq)
-				var (
-					resp Result
-					err  error
-				)
-				if op.Kind == KindSum {
-					resps, allErr := h.TryExecuteAll(op)
-					for _, r := range resps {
-						resp.Value += r.Value
-					}
-					err = allErr
-				} else {
-					resp, err = h.TryExecute(op)
-				}
-				outs = append(outs, Outcome{Thread: t, Seq: seq, Op: op, Resp: resp, Err: err})
+	// The shared driver probes the sharded handle's fan-out capability and
+	// spreads Sum across shards; everything else routes by key as usual.
+	all, err := runWorkers(s,
+		func() (chaosWorker, error) {
+			h, err := inst.Register()
+			if err != nil {
+				return nil, err
 			}
-			outcomes[t] = outs
-		}(t)
-	}
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(s.Timeout):
-		return nil, fmt.Errorf("%w after %v; stats %+v health %+v",
-			ErrDeadlock, s.Timeout, inst.Stats(), inst.Health())
+			return h, nil
+		},
+		func(node int) (chaosWorker, error) {
+			h, err := inst.RegisterOnNode(node)
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+		func() string { return fmt.Sprintf("stats %+v health %+v", inst.Stats(), inst.Health()) })
+	if err != nil {
+		return nil, err
 	}
 	inst.Quiesce()
 
-	rep := &ShardedReport{Report: Report{Schedule: s, Elapsed: time.Since(start)}}
-	for _, outs := range outcomes {
-		rep.Outcomes = append(rep.Outcomes, outs...)
-	}
+	rep := &ShardedReport{Report: Report{Schedule: s, Elapsed: time.Since(start), Outcomes: all}}
 	rep.Fingerprints = make([]uint64, inst.Replicas())
 	for si := 0; si < inst.Shards(); si++ {
 		fps := make([]uint64, inst.Replicas())
 		for n := 0; n < inst.Replicas(); n++ {
 			inst.Shard(si).InspectReplica(n, func(ds core.Sequential[Op, Result]) {
-				fps[n] = ds.(*DS).Fingerprint()
+				fps[n] = ds.(fingerprinter).Fingerprint()
 			})
 			rep.Fingerprints[n] += fps[n]
 		}

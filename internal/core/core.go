@@ -74,7 +74,18 @@ type Options struct {
 
 	// MinBatch is the batch size below which a combiner keeps the replica
 	// fresh instead of appending a small batch (§5.2). Default 1 (off).
+	//
+	// Deprecated: MinBatch predates Batch and is kept as a shim. A value
+	// > 1 with a zero Batch policy maps onto
+	// BatchPolicy{MinBatch: n, MaxLinger: legacyMinBatchLinger}; set Batch
+	// directly for real control.
 	MinBatch int
+
+	// Batch is the combiner's batching policy: how long a round lingers for
+	// concurrent ops to join, whether the window adapts, and whether formed
+	// batches may be executed by parallel combining (see batch.go). The
+	// zero value closes every round after one collection pass.
+	Batch BatchPolicy
 
 	// Ablation knobs (Fig. 13). All default to false = full NR.
 
@@ -138,6 +149,24 @@ func (o *Options) fillDefaults() {
 	if o.MinBatch <= 0 {
 		o.MinBatch = 1
 	}
+	// Deprecated-shim lowering: an explicit MinBatch with no policy becomes
+	// a fixed bounded linger for that batch size (the old knob's documented
+	// intent; the old loop never honored it — it retried a fixed 3 times).
+	if o.MinBatch > 1 && o.Batch == (BatchPolicy{}) {
+		o.Batch = BatchPolicy{MinBatch: o.MinBatch, MaxLinger: legacyMinBatchLinger}
+	}
+	if o.Batch.MinBatch < 0 {
+		o.Batch.MinBatch = 0
+	}
+	if o.Batch.MaxLinger < 0 {
+		o.Batch.MaxLinger = 0
+	}
+	if o.Batch.Adaptive && o.Batch.MaxLinger == 0 {
+		o.Batch.MaxLinger = defaultAdaptiveLinger
+	}
+	if per := o.Topology.ThreadsPerNode(); o.Batch.MaxBatch <= 0 || o.Batch.MaxBatch > per {
+		o.Batch.MaxBatch = per
+	}
 }
 
 // Persister receives every update operation at log-append time, before
@@ -162,16 +191,23 @@ type Stats struct {
 	HelpedEntries   uint64 `json:"helped_entries"`   // log entries applied to other nodes' replicas
 	ReadOps         uint64 `json:"read_ops"`         // read-only ops executed
 	UpdateOps       uint64 `json:"update_ops"`       // update ops executed
+	ParallelOps     uint64 `json:"parallel_ops"`     // update ops handed to owners by parallel combining
 	Panics          uint64 `json:"panics"`           // user Execute panics contained (see failure.go)
 	Stalls          uint64 `json:"stalls"`           // combiner stalls flagged by the watchdog
 }
 
-// slot state machine values.
+// slot state machine values. slotParallel/slotParClaimed exist only on the
+// parallel-combining path: the combiner hands a taken slot back to its owner
+// (slotParallel), who claims it by CAS (slotParClaimed) and executes the op
+// itself; an unclaimed handoff is reclaimed by the combiner via the same
+// CAS, so exactly one side runs the op.
 const (
 	slotEmpty uint32 = iota
 	slotPosted
 	slotTaken
 	slotDone
+	slotParallel
+	slotParClaimed
 )
 
 // slot is one thread's mailbox to its node's combiner (§5.2). The op is
@@ -193,6 +229,11 @@ type slot[O, R any] struct {
 	//nr:cacheline
 	resp R
 	err  error
+	// idx is the op's absolute log index under parallel combining, written
+	// by the combiner before its slotParallel release store and read by the
+	// owner after the acquire load that observes it. It shares the response
+	// line deliberately: same writer, same reader, same phase.
+	idx uint64
 }
 
 // entry is what NR stores in the shared log: the operation plus response
@@ -231,6 +272,16 @@ type replica[O, R any] struct {
 	// combining round never allocates. Only the combiner-lock holder
 	// touches it.
 	scratch []takenSlot[O, R]
+
+	// Batching-policy state (batch.go). lingerWindow is the adaptive spin
+	// window in nanoseconds — only the combiner-lock holder writes it, but
+	// Metrics() reads it concurrently as a gauge, hence atomic; batchDist
+	// is the replica's observed batch-size distribution (lock-free), the
+	// adaptive policy's slow signal; parPending counts outstanding
+	// parallel-combining handoffs within the current round.
+	lingerWindow atomic.Int64
+	batchDist    obs.CountDist
+	parPending   atomic.Int64
 }
 
 // Instance is a concurrent, NUMA-aware version of a sequential structure.
@@ -238,6 +289,14 @@ type Instance[O, R any] struct {
 	opts     Options
 	log      *log.Log[entry[O]]
 	replicas []*replica[O, R]
+	// batch mirrors opts.Batch (normalized); batchOn gates the policy
+	// engine's per-round work, batchTarget is the batch size a lingering
+	// round closes at, and conc is the structure's ConcurrentApply (nil
+	// unless parallel combining is enabled AND the structure opts in).
+	batch       BatchPolicy
+	batchOn     bool
+	batchTarget int
+	conc        func(O) bool
 	// observer mirrors opts.Observer for the hot paths' nil check.
 	observer obs.Observer
 	// rec mirrors opts.Trace (nil = flight recorder off).
@@ -264,6 +323,7 @@ type Instance[O, R any] struct {
 	helpedEntries   atomic.Uint64
 	readOps         atomic.Uint64
 	updateOps       atomic.Uint64
+	parallelOps     atomic.Uint64
 	panics          atomic.Uint64
 	stalls          atomic.Uint64
 
@@ -300,6 +360,12 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 		observer: opts.Observer,
 		rec:      opts.Trace,
 		place:    topology.NewFillPlacement(opts.Topology),
+		batch:    opts.Batch,
+		batchOn:  opts.Batch.MaxLinger > 0 || opts.Batch.Parallel,
+	}
+	inst.batchTarget = inst.batch.MaxBatch
+	if m := inst.batch.MinBatch; m > 0 && m < inst.batchTarget {
+		inst.batchTarget = m
 	}
 	if rate := opts.Trace.ProfileSampleRate(); rate > 0 {
 		inst.profRate = uint32(rate)
@@ -328,6 +394,13 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 			r.rw.SetWriterWaitHook(func(spins int) { o.WriterWait(node, spins) })
 		}
 		inst.replicas = append(inst.replicas, r)
+	}
+	if opts.Batch.Parallel {
+		// ConcurrentApply must be a pure function of op, so any replica's
+		// structure answers for all of them.
+		if ca, ok := inst.replicas[0].ds.(ConcurrentApplier[O]); ok {
+			inst.conc = ca.ConcurrentApply
+		}
 	}
 	if opts.DedicatedCombiners || opts.StallThreshold > 0 {
 		inst.stop = make(chan struct{})
@@ -776,14 +849,39 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	h.ring.RecordAt(tp, trace.KSlotPublish, h.node, h.token(), 0)
 	s.state.Store(slotPosted)
 	for {
-		if st := s.state.Load(); st == slotDone {
+		st := s.state.Load()
+		if st == slotDone {
 			resp, err := s.resp, s.err
 			s.state.Store(slotEmpty)
 			return resp, err
 		}
+		if st == slotParallel && s.state.CompareAndSwap(slotParallel, slotParClaimed) {
+			// Parallel combining: the combiner reserved our op's log index
+			// and handed execution back to us. The combiner still holds the
+			// replica write lock, so running against the replica here is as
+			// protected as the combiner's own fast path; concurrency with
+			// the batch's other ops is the structure's ConcurrentApply
+			// contract. A failed CAS means the combiner reclaimed the op
+			// (we were scheduled out past parallelClaimWait) — then we wait
+			// for slotDone like any combined op.
+			idx := s.idx
+			tok := h.token()
+			h.ring.Record(trace.KExecute, h.node, tok, idx)
+			resp, err := i.safeExecute(r, op, idx)
+			if err != nil {
+				h.ring.Record(trace.KPanic, h.node, idx, tok)
+			}
+			h.ring.Record(trace.KRespond, h.node, tok, idx)
+			s.state.Store(slotEmpty)
+			// The decrement releases the combiner's round; the slot store
+			// above must precede it so the slot is reusable before the
+			// combiner unlocks.
+			r.parPending.Add(-1)
+			return resp, err
+		}
 		if r.combinerLock.TryLock() {
 			if s.state.Load() != slotDone {
-				i.runCombiner(r, h.ring)
+				i.runCombiner(r, int32(h.slot), h.ring)
 			}
 			r.combinerLock.Unlock()
 			// runCombiner served every posted slot, including ours.
@@ -797,13 +895,15 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 
 // runCombiner executes one combining round, recording its trace events into
 // ring (the combining thread's own ring — combiner events land on the
-// combiner's timeline, joined to each op by token). The caller holds the
-// combiner lock; under ablation #3 that lock doubles as the replica lock.
+// combiner's timeline, joined to each op by token). self is the calling
+// thread's own slot index on r (parallel combining must not hand the
+// combiner's op back to the combiner). The caller holds the combiner lock;
+// under ablation #3 that lock doubles as the replica lock.
 //
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
+func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.Ring) {
 	o := i.observer
 	var began time.Time
 	if o != nil {
@@ -831,16 +931,36 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 		}
 	}
 	collect()
-	// Small batches: keep the replica fresh instead of appending tiny
-	// batches (§5.2); bounded so a lone thread still makes progress.
-	for tries := 0; len(batch) < i.opts.MinBatch && tries < 3; tries++ {
-		if to := i.log.Completed(); to > r.localTail.Load() {
-			i.refreshOwn(r, to, true, ring)
+	// Linger phase (the batching policy engine, batch.go): hold the round
+	// open for a bounded spin window so concurrently arriving ops join it —
+	// k ops in one round share one lock acquisition and one log-tail CAS.
+	// The wait is not dead time: the combiner absorbs completed entries
+	// into its replica meanwhile (the same freshening the old fixed-retry
+	// loop did) and yields on every pass so same-node posters can actually
+	// publish — essential on a box with fewer cores than threads.
+	firstPass := len(batch)
+	var window time.Duration
+	if i.batchOn && len(batch) < i.batchTarget {
+		if window = i.lingerWindow(r); window > 0 {
+			deadline := time.Now().Add(window)
+			for len(batch) < i.batchTarget {
+				if to := i.log.Completed(); to > r.localTail.Load() {
+					i.refreshOwn(r, to, true, ring)
+				}
+				runtime.Gosched()
+				collect()
+				if !time.Now().Before(deadline) {
+					break
+				}
+			}
+			t0 = ring.Now() // re-stamp: lingering took real time
+			ring.RecordAt(t0, trace.KLinger, int(r.id), uint64(len(batch)-firstPass), uint64(window))
 		}
-		t0 = ring.Now() // re-stamp: the refresh above took real time
-		collect()
 	}
 	if len(batch) == 0 {
+		if i.batchOn {
+			i.adaptAfterRound(r, 0, i.countPosted(r))
+		}
 		if o != nil {
 			o.CombineEnd(int(r.id), 0, 0, time.Since(began))
 		}
@@ -890,6 +1010,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 		i.applyEntry(r, idx, i.waitGet(int(r.id), idx, ring), ring)
 		r.localTail.Store(idx + 1)
 	}
+	parallel := 0
 	if idx == start {
 		// Fast path (the paper's §5.2): apply our ops from the node-local
 		// combining slots rather than re-reading the log. safeExecute keeps
@@ -897,17 +1018,24 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 		// at the op's log index and delivered like any response.
 		r.localTail.Store(end)
 		i.log.AdvanceCompleted(end)
-		for k, t := range batch {
-			tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
-			// KExecute is stamped before the op runs and KRespond after
-			// delivery, so the execute→respond gap is the op's real duration.
-			ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
-			t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
-			if t.s.err != nil {
-				ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
+		if i.conc != nil && len(batch) > 1 && i.batchCommutes(batch) {
+			// Parallel combining (batch.go): hand the batch back to the
+			// parked owners to execute concurrently against the replica.
+			parallel = i.parallelApply(r, batch, start, self, ring)
+		}
+		if parallel == 0 {
+			for k, t := range batch {
+				tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
+				// KExecute is stamped before the op runs and KRespond after
+				// delivery, so the execute→respond gap is the op's real duration.
+				ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
+				t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
+				if t.s.err != nil {
+					ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
+				}
+				t.s.state.Store(slotDone)
+				ring.Record(trace.KRespond, int(r.id), tok, start+uint64(k))
 			}
-			t.s.state.Store(slotDone)
-			ring.Record(trace.KRespond, int(r.id), tok, start+uint64(k))
 		}
 	} else {
 		// A helper replayed past our batch start while we were appending;
@@ -921,7 +1049,13 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], ring *trace.Ring) {
 	if !i.opts.CombinedReplicaLock {
 		r.rw.Unlock()
 	}
+	if i.batchOn {
+		i.adaptAfterRound(r, len(batch), i.countPosted(r))
+	}
 	if o != nil {
+		if i.batchOn {
+			o.BatchRound(int(r.id), window, len(batch)-firstPass, parallel)
+		}
 		o.CombineEnd(int(r.id), len(batch), len(batch), time.Since(began))
 	}
 	ring.Record(trace.KCombineEnd, int(r.id), uint64(len(batch)), uint64(len(batch)))
@@ -1150,6 +1284,7 @@ func (i *Instance[O, R]) stats() Stats {
 		HelpedEntries:   i.helpedEntries.Load(),
 		ReadOps:         i.readOps.Load(),
 		UpdateOps:       i.updateOps.Load(),
+		ParallelOps:     i.parallelOps.Load(),
 		Panics:          i.panics.Load(),
 		Stalls:          i.stalls.Load(),
 	}

@@ -29,7 +29,9 @@ func TestSlotLayout(t *testing.T) {
 	if respOff != 72 {
 		t.Errorf("slot.resp offset = %d, want 72 (state's line padded out at 16-72)", respOff)
 	}
-	if size := unsafe.Sizeof(s); size != 96 {
-		t.Errorf("slot[int64,int64] size = %d, want 96", size)
+	// idx rides the response line after err (same writer, same reader, same
+	// phase — see the field comment), growing the slot from 96 to 104.
+	if size := unsafe.Sizeof(s); size != 104 {
+		t.Errorf("slot[int64,int64] size = %d, want 104", size)
 	}
 }

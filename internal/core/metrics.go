@@ -47,6 +47,9 @@ type ReplicaGauges struct {
 	// CombinerHeldNs is how long the current combiner-lock holder has been
 	// inside its round (0 when the lock is free).
 	CombinerHeldNs int64 `json:"combiner_held_ns"`
+	// LingerWindowNs is the replica's current adaptive linger window
+	// (batch.go); 0 when the batching policy is off or non-adaptive.
+	LingerWindowNs int64 `json:"linger_window_ns"`
 }
 
 // Metrics is the unified observability snapshot: counters, failure state,
@@ -104,6 +107,7 @@ func (i *Instance[O, R]) Metrics() Metrics {
 			CompletedLag:   lag,
 			Registered:     registered[n],
 			CombinerHeldNs: int64(r.combinerLock.HeldFor(now)),
+			LingerWindowNs: r.lingerWindow.Load(),
 		})
 	}
 	if mo := obs.FindMetrics(i.opts.Observer); mo != nil {

@@ -1,6 +1,8 @@
 package log
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -292,4 +294,102 @@ func BenchmarkReserveFill(b *testing.B) {
 	}
 	b.StopTimer()
 	close(stop)
+}
+
+// TestMultiEntryReservationPartitions is the batch-reservation contract
+// under concurrent publishers: every TryReserve(n) must hand back n
+// consecutive indices owned by exactly one publisher, and the union of all
+// grants must tile the log's index space with no overlap and no gap — the
+// property the batching combiner leans on when it reserves one multi-entry
+// range for a whole linger batch.
+func TestMultiEntryReservationPartitions(t *testing.T) {
+	const (
+		publishers = 4
+		batches    = 150
+		maxBatch   = 8
+	)
+	l, _ := New[uint64](128, maxBatch)
+	lt := l.RegisterReplica()
+
+	// The batch sizes are deterministic, so the total index space is known
+	// up front; the drainer consumes exactly that many entries.
+	var want uint64
+	for p := 0; p < publishers; p++ {
+		for b := 0; b < batches; b++ {
+			want += uint64((p+b)%maxBatch + 1)
+		}
+	}
+
+	type grant struct {
+		start uint64
+		n     uint64
+		owner int
+	}
+	grantCh := make(chan grant, publishers*batches)
+	var casRetries atomic.Uint64
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				// Deterministic mixed batch sizes in [1, maxBatch].
+				n := (p+b)%maxBatch + 1
+				var start uint64
+				for {
+					s, retries, ok := l.TryReserveObserved(n)
+					casRetries.Add(uint64(retries))
+					if ok {
+						start = s
+						break
+					}
+					// Not this log's consumer: just let the drainer run.
+					runtime.Gosched()
+				}
+				for i := uint64(0); i < uint64(n); i++ {
+					l.Fill(start+i, uint64(p)<<32|(start+i))
+				}
+				total.Add(uint64(n))
+				grantCh <- grant{start: start, n: uint64(n), owner: p}
+			}
+		}(p)
+	}
+	// Drain so publishers never wedge on a full log. Every entry must carry
+	// the absolute index its publisher filled it with — a misdirected Fill
+	// (cross-batch overlap) shows up here as a payload mismatch.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for idx := uint64(0); idx < want; idx++ {
+			if op := l.WaitGet(idx); op&0xffffffff != idx {
+				t.Errorf("entry %d holds payload for index %d (publisher %d)", idx, op&0xffffffff, op>>32)
+				return
+			}
+			lt.Store(idx + 1)
+		}
+	}()
+	wg.Wait()
+	close(grantCh)
+	<-done
+
+	grants := make([]grant, 0, publishers*batches)
+	for g := range grantCh {
+		grants = append(grants, g)
+	}
+	sort.Slice(grants, func(i, j int) bool { return grants[i].start < grants[j].start })
+	var next uint64
+	for _, g := range grants {
+		if g.start != next {
+			t.Fatalf("reservation gap/overlap: grant at %d (owner %d, n=%d), expected next start %d", g.start, g.owner, g.n, next)
+		}
+		next = g.start + g.n
+	}
+	if next != total.Load() || next != want {
+		t.Fatalf("grants tile [0,%d), but %d entries were reserved (%d expected)", next, total.Load(), want)
+	}
+	if l.Tail() != next {
+		t.Fatalf("Tail = %d, want %d", l.Tail(), next)
+	}
+	t.Logf("multi-entry reservations: %d grants, %d entries, %d tail-CAS retries", len(grants), next, casRetries.Load())
 }

@@ -1,0 +1,68 @@
+// NR keyspace adapter: one bridge from the public nr.Executor interface to
+// the server's Shared interface, covering every NR deployment shape — plain
+// (NewShared), sharded (NewShardedShared), persistent (NewPersistentShared).
+// Before the Executor interface each shape carried its own adapter with its
+// own registration and metrics wiring; now the differences reduce to a
+// capability probe at Register time (can the handle fan out?).
+package miniredis
+
+import (
+	nr "github.com/asplos17/nr"
+	"github.com/asplos17/nr/internal/baseline"
+	"github.com/asplos17/nr/internal/core"
+)
+
+// nrShared adapts any nr.Executor-shaped keyspace to Shared.
+type nrShared struct {
+	exec nr.Executor[StoreOp, StoreResult]
+}
+
+// fanouter is the cross-shard capability: satisfied by *nr.ShardedHandle,
+// absent from *nr.Handle. DBSIZE and FLUSHALL need it; everything else
+// routes normally.
+type fanouter interface {
+	ExecuteAll(op StoreOp) []StoreResult
+}
+
+// Register binds a worker goroutine. When the executor's handle can fan out
+// (a sharded deployment), the keyless aggregate commands are intercepted and
+// spread across shards; otherwise the handle serves directly.
+func (s *nrShared) Register() (baseline.Executor[StoreOp, StoreResult], error) {
+	h, err := s.exec.RegisterExecutor()
+	if err != nil {
+		return nil, err
+	}
+	if fan, ok := h.(fanouter); ok {
+		return &fanExecutor{h: h, fan: fan}, nil
+	}
+	return h, nil
+}
+
+// Metrics implements MetricsSource for INFO and /metrics: the unified
+// snapshot, aggregated when sharded (Observed is nil there — per-shard
+// latency histograms do not merge — so INFO's latency section is absent for
+// sharded keyspaces).
+func (s *nrShared) Metrics() core.Metrics { return s.exec.Metrics() }
+
+// fanExecutor is one worker's routing front over a sharded handle: keyed
+// commands to their owner shard, DBSIZE summed and FLUSHALL broadcast
+// across all shards with per-shard linearizable semantics (DESIGN.md §11).
+type fanExecutor struct {
+	h   nr.OpExecutor[StoreOp, StoreResult]
+	fan fanouter
+}
+
+func (e *fanExecutor) Execute(op StoreOp) StoreResult {
+	switch op.Cmd {
+	case CmdDBSize:
+		var total int64
+		for _, r := range e.fan.ExecuteAll(op) {
+			total += r.Int
+		}
+		return StoreResult{Int: total, OK: true}
+	case CmdFlushAll:
+		e.fan.ExecuteAll(op)
+		return StoreResult{OK: true}
+	}
+	return e.h.Execute(op)
+}

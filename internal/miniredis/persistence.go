@@ -13,7 +13,6 @@ import (
 	"time"
 
 	nr "github.com/asplos17/nr"
-	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
 )
@@ -221,24 +220,11 @@ func (p *Persistence) LastSave() time.Time { return p.inst.LastSave() }
 // shutdown paths use it).
 func (p *Persistence) Sync() error { return p.inst.SyncWAL() }
 
-// nrPersistentAdapter adapts the public nr.Instance to baseline.Shared, as
-// baseline.NRAdapter does for the raw core instance.
-type nrPersistentAdapter struct {
-	inst *nr.Instance[StoreOp, StoreResult]
-}
-
-func (a *nrPersistentAdapter) Register() (baseline.Executor[StoreOp, StoreResult], error) {
-	return a.inst.Register()
-}
-
-// Metrics implements MetricsSource for INFO and /metrics.
-func (a *nrPersistentAdapter) Metrics() nr.Metrics { return a.inst.Metrics() }
-
 // NewPersistentShared builds the NR keyspace with durability: recover (or
 // create) the keyspace from dir, append every update to dir's append-only
 // log, and expose checkpoints via the returned Persistence. Close the
 // returned closer (the NR instance) on shutdown to flush the log.
-func NewPersistentShared(topo topology.Topology, seed uint64, dir string, rec *trace.Recorder) (Shared, *Persistence, error) {
+func NewPersistentShared(topo topology.Topology, seed uint64, dir string, rec *trace.Recorder, extra ...nr.Option) (Shared, *Persistence, error) {
 	options := []nr.Option{
 		nr.WithNodes(topo.Nodes(), topo.CoresPerNode(), topo.SMT()),
 		nr.WithMetrics(),
@@ -247,6 +233,7 @@ func NewPersistentShared(topo topology.Topology, seed uint64, dir string, rec *t
 	if rec != nil {
 		options = append(options, nr.WithFlightRecorderInstance(rec))
 	}
+	options = append(options, extra...)
 	recovered, err := nr.Recover(dir, func(data []byte) (nr.Sequential[StoreOp, StoreResult], error) {
 		return RestoreStore(data, seed)
 	}, StoreCodec{}, options...)
@@ -256,7 +243,7 @@ func NewPersistentShared(topo topology.Topology, seed uint64, dir string, rec *t
 	p := &Persistence{inst: recovered.Instance}
 	p.Recovered.Replayed = recovered.ReplayedOps()
 	p.Recovered.Dropped = recovered.DroppedRecords()
-	return &nrPersistentAdapter{inst: recovered.Instance}, p, nil
+	return &nrShared{exec: recovered.Instance}, p, nil
 }
 
 // ClosePersistent flushes and closes the persistent keyspace built by

@@ -11,9 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/core"
-	"github.com/asplos17/nr/internal/obs"
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
 )
@@ -32,27 +32,36 @@ const (
 
 // NewShared builds a concurrent keyspace with the given method. Seed fixes
 // replica determinism; topo sizes NR's replicas and the lock/slot arrays.
-func NewShared(method string, topo topology.Topology, seed uint64) (Shared, error) {
-	return NewSharedTraced(method, topo, seed, nil)
+// Extra nr options apply only to the NR method.
+func NewShared(method string, topo topology.Topology, seed uint64, extra ...nr.Option) (Shared, error) {
+	return NewSharedTraced(method, topo, seed, nil, extra...)
 }
 
 // NewSharedTraced is NewShared with a flight recorder attached to the NR
 // instance (rec is ignored by the baseline methods, which have no protocol
 // to trace). Pass the same recorder to the server via WithRecorder so
 // SLOWLOG and /debug/trace can read it.
-func NewSharedTraced(method string, topo topology.Topology, seed uint64, rec *trace.Recorder) (Shared, error) {
+func NewSharedTraced(method string, topo topology.Topology, seed uint64, rec *trace.Recorder, extra ...nr.Option) (Shared, error) {
 	maxThreads := topo.TotalThreads()
 	switch method {
 	case MethodNR:
-		inst, err := core.New[StoreOp, StoreResult](
-			func() core.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
-			// The metrics observer feeds INFO's latency section and the
-			// /metrics endpoint; it is cheap enough to be on by default.
-			core.Options{Topology: topo, Observer: obs.NewMetrics(topo.Nodes()), Trace: rec})
+		// The metrics observer feeds INFO's latency section and the
+		// /metrics endpoint; it is cheap enough to be on by default.
+		options := []nr.Option{
+			nr.WithNodes(topo.Nodes(), topo.CoresPerNode(), topo.SMT()),
+			nr.WithMetrics(),
+		}
+		if rec != nil {
+			options = append(options, nr.WithFlightRecorderInstance(rec))
+		}
+		options = append(options, extra...)
+		inst, err := nr.New(
+			func() nr.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
+			options...)
 		if err != nil {
 			return nil, err
 		}
-		return &baseline.NRAdapter[StoreOp, StoreResult]{Inst: inst}, nil
+		return &nrShared{exec: inst}, nil
 	case MethodSL:
 		return baseline.NewSpinLocked[StoreOp, StoreResult](NewStore(seed)), nil
 	case MethodRWL:

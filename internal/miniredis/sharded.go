@@ -1,5 +1,5 @@
 // Sharded keyspace: the NR store hash-partitioned over S independent
-// instances (internal/shard). Keyed commands route by key hash and keep
+// instances (nr.NewSharded). Keyed commands route by key hash and keep
 // single-key linearizability; the keyless commands fan out — DBSIZE sums
 // the shard sizes, FLUSHALL flushes every shard — with per-shard
 // linearizable semantics (DESIGN.md §11). PING, read-only and keyless, is
@@ -7,26 +7,29 @@
 package miniredis
 
 import (
-	"github.com/asplos17/nr/internal/baseline"
-	"github.com/asplos17/nr/internal/core"
-	"github.com/asplos17/nr/internal/obs"
-	"github.com/asplos17/nr/internal/shard"
+	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
 )
-
-// shardedShared adapts a shard.Instance over Store to the Shared interface.
-type shardedShared struct {
-	inst *shard.Instance[StoreOp, StoreResult]
-}
 
 // NewShardedShared builds an NR keyspace partitioned over shards instances
 // (shards >= 2; use NewSharedTraced for the single-log deployment). Only
 // the NR method shards — the point is splitting NR's shared log — and the
 // recorder, when non-nil, is shared across shards so SLOWLOG and
-// /debug/trace cover the whole keyspace.
-func NewShardedShared(topo topology.Topology, seed uint64, shards int, rec *trace.Recorder) (Shared, error) {
-	inst, err := shard.New(shards,
+// /debug/trace cover the whole keyspace. Extra nr options (a batching
+// policy, say) apply to every shard alike.
+func NewShardedShared(topo topology.Topology, seed uint64, shards int, rec *trace.Recorder, extra ...nr.Option) (Shared, error) {
+	options := []nr.Option{
+		nr.WithNodes(topo.Nodes(), topo.CoresPerNode(), topo.SMT()),
+		nr.WithMetrics(),
+	}
+	if rec != nil {
+		options = append(options, nr.WithFlightRecorderInstance(rec))
+	}
+	options = append(options, extra...)
+	inst, err := nr.NewSharded(
+		func() nr.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
+		shards,
 		func(op StoreOp) int {
 			switch op.Cmd {
 			case CmdPing, CmdDBSize, CmdFlushAll:
@@ -34,50 +37,9 @@ func NewShardedShared(topo topology.Topology, seed uint64, shards int, rec *trac
 			}
 			return int(hashKey(op.Key) % uint64(shards))
 		},
-		func(int) (*core.Instance[StoreOp, StoreResult], error) {
-			return core.New[StoreOp, StoreResult](
-				func() core.Sequential[StoreOp, StoreResult] { return NewStore(seed) },
-				core.Options{Topology: topo, Observer: obs.NewMetrics(topo.Nodes()), Trace: rec})
-		})
+		options...)
 	if err != nil {
 		return nil, err
 	}
-	return &shardedShared{inst: inst}, nil
-}
-
-// Register binds a worker: one handle slot on every shard, same node.
-func (s *shardedShared) Register() (baseline.Executor[StoreOp, StoreResult], error) {
-	h, err := s.inst.Register()
-	if err != nil {
-		return nil, err
-	}
-	return &shardedExecutor{h: h}, nil
-}
-
-// Metrics implements MetricsSource with the aggregate snapshot (counters
-// summed, health OR-ed across shards). Observed is nil — per-shard latency
-// histograms do not merge — so INFO's latency section is absent for
-// sharded keyspaces.
-func (s *shardedShared) Metrics() core.Metrics { return s.inst.Metrics().Aggregate }
-
-// shardedExecutor is one worker's routing front over its per-shard handles.
-type shardedExecutor struct {
-	h *shard.Handle[StoreOp, StoreResult]
-}
-
-// Execute routes op: keyed commands to their owner shard, DBSIZE and
-// FLUSHALL across all shards.
-func (e *shardedExecutor) Execute(op StoreOp) StoreResult {
-	switch op.Cmd {
-	case CmdDBSize:
-		var total int64
-		for _, r := range e.h.ExecuteAll(op) {
-			total += r.Int
-		}
-		return StoreResult{Int: total, OK: true}
-	case CmdFlushAll:
-		e.h.ExecuteAll(op)
-		return StoreResult{OK: true}
-	}
-	return e.h.Execute(op)
+	return &nrShared{exec: inst}, nil
 }

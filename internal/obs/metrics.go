@@ -24,6 +24,11 @@ type nodeMetrics struct {
 
 	combineRounds    atomic.Uint64
 	combineNanos     atomic.Uint64
+	lingerRounds     atomic.Uint64
+	lingerNanos      atomic.Uint64
+	lingerGained     atomic.Uint64
+	parallelRounds   atomic.Uint64
+	parallelOps      atomic.Uint64
 	readerRefreshes  atomic.Uint64
 	refreshedEntries atomic.Uint64
 	helps            atomic.Uint64
@@ -102,6 +107,20 @@ func (m *Metrics) WriterWait(node, spins int) {
 	n.writerWaitSpins.Add(uint64(spins))
 }
 
+// BatchRound implements Observer. Rounds with a zero window and no parallel
+// handoff (an adaptive window decayed shut) still count toward lingerRounds
+// so the per-round averages stay honest about what the policy is doing.
+func (m *Metrics) BatchRound(node int, window time.Duration, gained, parallel int) {
+	n := m.at(node)
+	n.lingerRounds.Add(1)
+	n.lingerNanos.Add(uint64(window.Nanoseconds()))
+	n.lingerGained.Add(uint64(gained))
+	if parallel > 0 {
+		n.parallelRounds.Add(1)
+		n.parallelOps.Add(uint64(parallel))
+	}
+}
+
 // Stall implements Observer.
 func (m *Metrics) Stall(node int, held time.Duration) {
 	m.at(node).stalls.Add(1)
@@ -155,6 +174,11 @@ type NodeSnapshot struct {
 
 	CombineRounds    uint64 `json:"combine_rounds"`
 	CombineNanos     uint64 `json:"combine_ns"`
+	LingerRounds     uint64 `json:"linger_rounds"`
+	LingerNanos      uint64 `json:"linger_ns"`
+	LingerGained     uint64 `json:"linger_gained"`
+	ParallelRounds   uint64 `json:"parallel_rounds"`
+	ParallelOps      uint64 `json:"parallel_ops"`
 	ReaderRefreshes  uint64 `json:"reader_refreshes"`
 	RefreshedEntries uint64 `json:"refreshed_entries"`
 	Helps            uint64 `json:"helps"`
@@ -196,6 +220,11 @@ func (m *Metrics) Snapshot() Snapshot {
 			Appends:          n.appends.Snapshot(),
 			CombineRounds:    n.combineRounds.Load(),
 			CombineNanos:     n.combineNanos.Load(),
+			LingerRounds:     n.lingerRounds.Load(),
+			LingerNanos:      n.lingerNanos.Load(),
+			LingerGained:     n.lingerGained.Load(),
+			ParallelRounds:   n.parallelRounds.Load(),
+			ParallelOps:      n.parallelOps.Load(),
 			ReaderRefreshes:  n.readerRefreshes.Load(),
 			RefreshedEntries: n.refreshedEntries.Load(),
 			Helps:            n.helps.Load(),

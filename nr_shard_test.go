@@ -125,9 +125,12 @@ func TestShardedMetricsAndTrace(t *testing.T) {
 		}
 	}
 
-	m := inst.Metrics()
+	m := inst.ShardMetrics()
 	if len(m.Shards) != 2 {
-		t.Fatalf("Metrics.Shards has %d entries, want 2", len(m.Shards))
+		t.Fatalf("ShardMetrics.Shards has %d entries, want 2", len(m.Shards))
+	}
+	if agg := inst.Metrics(); agg.Stats != m.Aggregate.Stats {
+		t.Errorf("Metrics() aggregate stats %+v != ShardMetrics().Aggregate.Stats %+v", agg.Stats, m.Aggregate.Stats)
 	}
 	s := m.Aggregate.Stats
 	if got := s.ReadOps + s.UpdateOps; got != ops {

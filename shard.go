@@ -117,9 +117,16 @@ func (i *ShardedInstance[O, R]) Shards() int { return i.inner.Shards() }
 // Replicas returns the per-shard replica count (uniform across shards).
 func (i *ShardedInstance[O, R]) Replicas() int { return i.inner.Replicas() }
 
-// Metrics returns the aggregated observability snapshot with per-shard
-// breakdowns; see ShardedMetrics.
-func (i *ShardedInstance[O, R]) Metrics() ShardedMetrics { return i.inner.Metrics() }
+// Metrics returns the aggregate observability snapshot (counters summed,
+// health OR-ed, gauges folded), the same shape a plain Instance reports, so
+// Executor-typed code reads one snapshot whatever the deployment. The
+// aggregate's Observed field is nil — latency percentiles do not merge; use
+// ShardMetrics for the per-shard breakdown with histograms.
+func (i *ShardedInstance[O, R]) Metrics() Metrics { return i.inner.Metrics().Aggregate }
+
+// ShardMetrics returns the full sharded snapshot: the aggregate plus the
+// per-shard core snapshots it was folded from.
+func (i *ShardedInstance[O, R]) ShardMetrics() ShardedMetrics { return i.inner.Metrics() }
 
 // Stats returns the aggregate counters (per-shard Stats summed).
 func (i *ShardedInstance[O, R]) Stats() Stats { return i.inner.Stats() }
