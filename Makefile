@@ -10,10 +10,10 @@ GO ?= go
 # committed trajectory (BENCH_PR*.json) is never silently overwritten by a
 # default run: bump the default each PR, or override with
 # `make bench BENCH_OUT=/tmp/bench.json`.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
 # The packages where a data race is a protocol bug, not just a test bug.
-RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs
+RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs ./internal/obs/tsdb
 
 .PHONY: tier1 tier1-race tier2 chaos chaos-recover check test build vet race bench lint
 
@@ -41,8 +41,8 @@ chaos: ## fault-injection suite under the race detector, fixed seeds
 chaos-recover: ## kill-and-recover matrix only: crash/SIGKILL/torn-tail recovery under -race
 	$(GO) test -race -count=1 -v -run 'Recover|KillAndRecover' ./internal/chaos/
 
-bench: ## real-implementation benchmark: recorder overhead + shard sweep + persistence cost + batch-policy ladder
-	$(GO) run ./cmd/nrbench -tracecmp -persistcmp -batchcmp -assertbatch 2 -threads 8 -shards 1,2,4,8 -json $(BENCH_OUT)
+bench: ## real-implementation benchmark: recorder overhead + shard sweep + persistence cost + batch-policy ladder + telemetry cost
+	$(GO) run ./cmd/nrbench -tracecmp -persistcmp -batchcmp -assertbatch 2 -obscmp -threads 8 -shards 1,2,4,8 -json $(BENCH_OUT)
 
 build:
 	$(GO) build ./...

@@ -45,6 +45,7 @@ func main() {
 		persist     = flag.Bool("persistcmp", false, "benchmark the durability cost: persistence off vs fsync-never vs group-fsync on an all-update workload")
 		batchcmp    = flag.Bool("batchcmp", false, "benchmark the batch-policy ladder: none vs fixed-linger vs adaptive vs parallel-combining on an all-update workload")
 		assertBatch = flag.Int("assertbatch", 0, "with -batchcmp: fail unless the adaptive arm's combiner_batch_p99 is at least this")
+		obscmp      = flag.Bool("obscmp", false, "benchmark the telemetry-collector cost: windowed collector off vs on at its default cadence")
 		cpuprof     = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *real || *tracecmp || *persist || *batchcmp {
+	if *real || *tracecmp || *persist || *batchcmp || *obscmp {
 		shardCounts, err := parseShardList(*shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
@@ -78,6 +79,7 @@ func main() {
 			PersistCmp:     *persist,
 			BatchCmp:       *batchcmp,
 			AssertBatchP99: *assertBatch,
+			ObsCmp:         *obscmp,
 		}
 		run := runReal
 		switch {
@@ -87,6 +89,8 @@ func main() {
 			run = runPersistOnly
 		case *batchcmp && !*real:
 			run = runBatchOnly
+		case *obscmp && !*real:
+			run = runObsOnly
 		}
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)

@@ -1,0 +1,152 @@
+// The -obscmp benchmark: the 90%-read workload measured twice — metrics
+// observer only (the long-standing baseline configuration) versus the full
+// telemetry collector sampling at its default 1s cadence — to price the
+// continuous telemetry plane. The stated budget is 3%: the collector's
+// steady-state cost is one Gauges capture plus one bucket copy per second
+// on its own goroutine, nothing on the operation path, so the measured
+// delta should be noise. Rounds interleave and the headline is the median
+// round, the same methodology as -persistcmp.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	nr "github.com/asplos17/nr"
+)
+
+// obsBudgetPct is the acceptance bar: collector-on overhead on the mixed
+// workload's throughput must stay under this.
+const obsBudgetPct = 3.0
+
+// obsInterval is the cadence of the measured collector arm (the
+// WithTelemetry default).
+const obsInterval = time.Second
+
+// obsRounds is how many interleaved (off, on) measurement rounds run.
+const obsRounds = 3
+
+// obsSample is one round's pair of throughputs.
+type obsSample struct {
+	OffOpsS float64 `json:"off_ops_per_sec"`
+	OnOpsS  float64 `json:"on_ops_per_sec"`
+}
+
+// obsReport is BENCH_PR8.json's addition: the telemetry-collector cost.
+type obsReport struct {
+	ReadPct           int         `json:"read_pct"`
+	Rounds            int         `json:"rounds"`
+	ThroughputOffOpsS float64     `json:"throughput_off_ops_per_sec"`
+	ThroughputOnOpsS  float64     `json:"throughput_on_ops_per_sec"`
+	OverheadPct       float64     `json:"overhead_pct"`
+	BudgetPct         float64     `json:"budget_pct"`
+	WithinBudget      bool        `json:"within_budget"`
+	IntervalMs        float64     `json:"interval_ms"`
+	WindowsCaptured   int         `json:"windows_captured"`
+	Samples           []obsSample `json:"samples"`
+}
+
+// measureObsArm runs the mixed workload with the telemetry collector
+// attached and returns the measurement plus how many windows it derived.
+func measureObsArm(cfg realConfig) (realResult, int, error) {
+	cfg.normalize()
+	inst, err := nr.New(
+		func() nr.Sequential[benchOp, uint64] { return &benchMap{m: make(map[uint64]uint64)} },
+		cfg.topoOption(),
+		nr.WithTelemetry(obsInterval, 120),
+	)
+	if err != nil {
+		return realResult{}, 0, err
+	}
+	defer inst.Close()
+	total, elapsed, err := runWorkers[benchOp, uint64](inst, cfg, mixedOpGen(cfg.ReadPct))
+	if err != nil {
+		return realResult{}, 0, err
+	}
+	res, err := foldResult(inst, cfg, total, elapsed)
+	if err != nil {
+		return res, 0, err
+	}
+	return res, len(inst.Telemetry().Snapshot()), nil
+}
+
+// obsRound is one interleaved measurement of the two arms.
+type obsRound struct {
+	off, on realResult
+	windows int
+}
+
+func (r obsRound) overheadPct() float64 {
+	if r.off.ThroughputOpsS <= 0 {
+		return 0
+	}
+	return (r.off.ThroughputOpsS - r.on.ThroughputOpsS) / r.off.ThroughputOpsS * 100
+}
+
+// runObsCompare measures the collector-off and collector-on arms over
+// several interleaved rounds and reports the median round's overhead
+// against the budget.
+func runObsCompare(cfg realConfig) (*obsReport, error) {
+	fmt.Printf("=== telemetry collector cost (%d%%-read workload, %d rounds) ===\n",
+		cfg.ReadPct, obsRounds)
+	rounds := make([]obsRound, 0, obsRounds)
+	for i := 0; i < obsRounds; i++ {
+		var (
+			r   obsRound
+			err error
+		)
+		if r.off, err = measureReal(cfg, nil); err != nil {
+			return nil, err
+		}
+		if r.on, r.windows, err = measureObsArm(cfg); err != nil {
+			return nil, err
+		}
+		fmt.Printf("round %d: off %.2f Mops/s   on %.2f Mops/s (%.1f%%)\n",
+			i+1, r.off.ThroughputOpsS/1e6, r.on.ThroughputOpsS/1e6, r.overheadPct())
+		rounds = append(rounds, r)
+	}
+
+	ranked := make([]obsRound, len(rounds))
+	copy(ranked, rounds)
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].overheadPct() < ranked[b].overheadPct() })
+	med := ranked[len(ranked)/2]
+
+	rep := &obsReport{
+		ReadPct:           cfg.ReadPct,
+		Rounds:            obsRounds,
+		ThroughputOffOpsS: med.off.ThroughputOpsS,
+		ThroughputOnOpsS:  med.on.ThroughputOpsS,
+		OverheadPct:       med.overheadPct(),
+		BudgetPct:         obsBudgetPct,
+		WithinBudget:      med.overheadPct() <= obsBudgetPct,
+		IntervalMs:        float64(obsInterval) / float64(time.Millisecond),
+		WindowsCaptured:   med.windows,
+	}
+	for _, r := range rounds {
+		rep.Samples = append(rep.Samples, obsSample{OffOpsS: r.off.ThroughputOpsS, OnOpsS: r.on.ThroughputOpsS})
+	}
+	fmt.Printf("=== telemetry overhead (median of %d rounds) ===\n", obsRounds)
+	fmt.Printf("off: %.2f Mops/s   on: %.2f Mops/s   overhead: %.1f%% (budget %.0f%%, %d windows captured)\n",
+		med.off.ThroughputOpsS/1e6, med.on.ThroughputOpsS/1e6,
+		rep.OverheadPct, obsBudgetPct, med.windows)
+	if !rep.WithinBudget {
+		fmt.Printf("WARNING: telemetry overhead exceeds budget\n")
+	}
+	return rep, nil
+}
+
+// runObsOnly is the standalone -obscmp mode: just the telemetry cost, with
+// the report as the whole JSON document.
+func runObsOnly(cfg realConfig) error {
+	rep, err := runObsCompare(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.JSONPath != "" {
+		return writeJSON(cfg.JSONPath, struct {
+			Telemetry *obsReport `json:"telemetry"`
+		}{rep})
+	}
+	return nil
+}

@@ -32,6 +32,9 @@ type realConfig struct {
 	// combiner_batch_p99 falls below it a hard failure.
 	BatchCmp       bool
 	AssertBatchP99 int
+	// ObsCmp appends the telemetry-collector cost comparison (obscmp.go) to
+	// the -tracecmp run.
+	ObsCmp bool
 }
 
 // benchMap is the workload structure: a plain map, replicated by NR.
@@ -279,6 +282,7 @@ type tracedResult struct {
 	ShardSweep     *shardSweepReport    `json:"shard_sweep,omitempty"`
 	Persistence    *persistReport       `json:"persistence,omitempty"`
 	BatchLadder    *batchLadderReport   `json:"batch_ladder,omitempty"`
+	Telemetry      *obsReport           `json:"telemetry,omitempty"`
 }
 
 // runTraceCompare measures the same workload twice — recorder off, then
@@ -344,6 +348,13 @@ func runTraceCompare(cfg realConfig) error {
 			return err
 		}
 		res.BatchLadder = rep
+	}
+	if cfg.ObsCmp {
+		rep, err := runObsCompare(cfg)
+		if err != nil {
+			return err
+		}
+		res.Telemetry = rep
 	}
 	if jsonPath != "" {
 		return writeJSON(jsonPath, res)

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	nr "github.com/asplos17/nr"
@@ -38,6 +39,21 @@ import (
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
 )
+
+// parseSLOSpec parses "p99" or "p99,p999" duration pairs for the -slo-*
+// flags; a missing p999 leaves that bound unchecked.
+func parseSLOSpec(spec string) (p99, p999 time.Duration, err error) {
+	parts := strings.SplitN(spec, ",", 2)
+	if p99, err = time.ParseDuration(parts[0]); err != nil || p99 <= 0 {
+		return 0, 0, fmt.Errorf("bad p99 %q (want a positive duration)", parts[0])
+	}
+	if len(parts) == 2 {
+		if p999, err = time.ParseDuration(parts[1]); err != nil || p999 <= 0 {
+			return 0, 0, fmt.Errorf("bad p999 %q (want a positive duration)", parts[1])
+		}
+	}
+	return p99, p999, nil
+}
 
 func main() {
 	var (
@@ -54,6 +70,11 @@ func main() {
 
 		appendOnly = flag.Bool("appendonly", false, "durable mode (nr method, 1 shard): append-only log + snapshots in -dir, recovered on start")
 		dataDir    = flag.String("dir", "nrredis-data", "data directory for -appendonly state")
+
+		telemetry  = flag.Duration("telemetry", time.Second, "windowed telemetry capture cadence (nr method only); 0 disables")
+		telWindows = flag.Int("telemetry-windows", 120, "telemetry windows retained in the ring")
+		sloRead    = flag.String("slo-read", "", "read-latency SLO as p99[,p999] durations, e.g. 500us,2ms; empty disables")
+		sloUpdate  = flag.String("slo-update", "", "update-latency SLO as p99[,p999] durations; empty disables")
 
 		traceOn    = flag.Bool("trace", true, "attach the flight recorder (nr method only): SLOWLOG + /debug/trace")
 		traceSlots = flag.Int("trace-slots", 4096, "flight-recorder ring slots per thread (rounded to a power of two)")
@@ -88,6 +109,30 @@ func main() {
 	}
 	if len(batchOpts) > 0 && *method != miniredis.MethodNR {
 		log.Fatalf("nrredis: -batch applies only to -method nr (got %q)", *method)
+	}
+	// Telemetry rides only on the NR method (like -trace, it is silently
+	// absent for baselines, which have no NR instance to observe); explicit
+	// SLO flags on a baseline are an error rather than a silent no-op.
+	if *method == miniredis.MethodNR {
+		if *telemetry > 0 {
+			batchOpts = append(batchOpts, nr.WithTelemetry(*telemetry, *telWindows))
+		}
+		for _, s := range []struct {
+			spec  string
+			class nr.OpClass
+			name  string
+		}{{*sloRead, nr.OpRead, "-slo-read"}, {*sloUpdate, nr.OpUpdate, "-slo-update"}} {
+			if s.spec == "" {
+				continue
+			}
+			p99, p999, err := parseSLOSpec(s.spec)
+			if err != nil {
+				log.Fatalf("nrredis: %s: %v", s.name, err)
+			}
+			batchOpts = append(batchOpts, nr.WithSLO(s.class, p99, p999))
+		}
+	} else if *sloRead != "" || *sloUpdate != "" {
+		log.Fatalf("nrredis: -slo-read/-slo-update apply only to -method nr (got %q)", *method)
 	}
 	var shared miniredis.Shared
 	var persist *miniredis.Persistence

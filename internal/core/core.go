@@ -192,6 +192,7 @@ type Stats struct {
 	ReadOps         uint64 `json:"read_ops"`         // read-only ops executed
 	UpdateOps       uint64 `json:"update_ops"`       // update ops executed
 	ParallelOps     uint64 `json:"parallel_ops"`     // update ops handed to owners by parallel combining
+	ReaderAcquires  uint64 `json:"reader_acquires"`  // read-lock acquisitions across all replicas (rwlock per-slot counters)
 	Panics          uint64 `json:"panics"`           // user Execute panics contained (see failure.go)
 	Stalls          uint64 `json:"stalls"`           // combiner stalls flagged by the watchdog
 }
@@ -282,6 +283,10 @@ type replica[O, R any] struct {
 	lingerWindow atomic.Int64
 	batchDist    obs.CountDist
 	parPending   atomic.Int64
+	// lastReaderAcq is the rw lock's reader-acquisition count as of the end
+	// of the previous combining round; the delta is the round's
+	// ReaderPressure report. Only the combiner-lock holder touches it.
+	lastReaderAcq uint64
 }
 
 // Instance is a concurrent, NUMA-aware version of a sequential structure.
@@ -962,6 +967,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 			i.adaptAfterRound(r, 0, i.countPosted(r))
 		}
 		if o != nil {
+			i.reportReaderPressure(r, o)
 			o.CombineEnd(int(r.id), 0, 0, time.Since(began))
 		}
 		ring.Record(trace.KCombineEnd, int(r.id), 0, 0)
@@ -1056,9 +1062,26 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 		if i.batchOn {
 			o.BatchRound(int(r.id), window, len(batch)-firstPass, parallel)
 		}
+		i.reportReaderPressure(r, o)
 		o.CombineEnd(int(r.id), len(batch), len(batch), time.Since(began))
 	}
 	ring.Record(trace.KCombineEnd, int(r.id), uint64(len(batch)), uint64(len(batch)))
+}
+
+// reportReaderPressure fires the ReaderPressure hook with the replica's
+// read-lock acquisitions since the node's previous combining round — the
+// combiner-side view of reader traffic the adaptive batching controller
+// folds into its linger signals. Caller holds r's combiner lock (which
+// protects lastReaderAcq) and has already nil-checked o.
+//
+//nr:noalloc
+func (i *Instance[O, R]) reportReaderPressure(r *replica[O, R], o obs.Observer) {
+	acq := r.rw.ReaderAcquires()
+	delta := acq - r.lastReaderAcq
+	r.lastReaderAcq = acq
+	if o != nil && delta > 0 {
+		o.ReaderPressure(int(r.id), int(delta))
+	}
 }
 
 // uncombinedDeliveryWait bounds how long an uncombined updater waits for a
@@ -1277,6 +1300,10 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool,
 
 // stats builds the counter slice of the Metrics snapshot.
 func (i *Instance[O, R]) stats() Stats {
+	var acquires uint64
+	for _, r := range i.replicas {
+		acquires += r.rw.ReaderAcquires()
+	}
 	return Stats{
 		Combines:        i.combines.Load(),
 		CombinedOps:     i.combinedOps.Load(),
@@ -1285,6 +1312,7 @@ func (i *Instance[O, R]) stats() Stats {
 		ReadOps:         i.readOps.Load(),
 		UpdateOps:       i.updateOps.Load(),
 		ParallelOps:     i.parallelOps.Load(),
+		ReaderAcquires:  acquires,
 		Panics:          i.panics.Load(),
 		Stalls:          i.stalls.Load(),
 	}

@@ -50,6 +50,35 @@ type ReplicaGauges struct {
 	// LingerWindowNs is the replica's current adaptive linger window
 	// (batch.go); 0 when the batching policy is off or non-adaptive.
 	LingerWindowNs int64 `json:"linger_window_ns"`
+	// ReaderAcquires is the cumulative read-lock acquisition count on this
+	// replica's readers-writer lock (0 under the centralized ablation lock,
+	// which has no per-reader counters).
+	ReaderAcquires uint64 `json:"reader_acquires"`
+}
+
+// PersistGauges is the durability slice of the Metrics snapshot, populated
+// by the public nr layer when the instance has a WAL attached. It mirrors
+// persist.Stats (core does not import persist — the dependency points the
+// other way) and adds the derived durability-lag gauge.
+type PersistGauges struct {
+	// Appends is the number of operations appended to the WAL.
+	Appends uint64 `json:"appends"`
+	// Pages is the number of page flushes the WAL performed.
+	Pages uint64 `json:"pages"`
+	// Fsyncs is the number of fsync calls issued.
+	Fsyncs uint64 `json:"fsyncs"`
+	// FsyncNanos is the total time spent inside fsync, in nanoseconds.
+	FsyncNanos uint64 `json:"fsync_ns"`
+	// Rotations is the number of segment rotations.
+	Rotations uint64 `json:"rotations"`
+	// SealStalls is the number of appends that had to wait for a segment
+	// seal to complete.
+	SealStalls uint64 `json:"seal_stalls"`
+	// DurableIndex is the highest log index known fsync-durable.
+	DurableIndex uint64 `json:"durable_index"`
+	// DurableLag is Log.Completed - DurableIndex clamped at 0: how many
+	// completed operations would be lost to a crash right now.
+	DurableLag uint64 `json:"durable_lag"`
 }
 
 // Metrics is the unified observability snapshot: counters, failure state,
@@ -60,6 +89,10 @@ type Metrics struct {
 	Health   Health          `json:"health"`
 	Log      LogGauges       `json:"log"`
 	Replicas []ReplicaGauges `json:"replicas"`
+	// Persist carries the WAL's durability gauges, nil when the instance has
+	// no persistence attached (filled by the public nr layer, which owns the
+	// WAL; core never sees it).
+	Persist *PersistGauges `json:"persist,omitempty"`
 	// Observed carries the obs.Metrics snapshot, nil when the instance was
 	// built without one.
 	Observed *obs.Snapshot `json:"observed,omitempty"`
@@ -69,10 +102,21 @@ type Metrics struct {
 // the snapshot is only approximately a single instant; gauges are racy
 // reads of live positions (monotone counters, so never wildly wrong).
 func (i *Instance[O, R]) Metrics() Metrics {
-	m := Metrics{
-		Stats:  i.stats(),
-		Health: i.health(),
-	}
+	var m Metrics
+	i.MetricsInto(&m, true)
+	return m
+}
+
+// MetricsInto fills m in place, reusing m.Replicas' capacity, so a caller
+// that polls on a cadence (the telemetry collector) does not allocate a
+// fresh snapshot every tick. observed=false skips the obs.Metrics summary
+// (two histogram merges and a per-node slice) — the collector reads the
+// observer's raw buckets itself via obs.ReadCum and has no use for it.
+func (i *Instance[O, R]) MetricsInto(m *Metrics, observed bool) {
+	m.Stats = i.stats()
+	m.Health = i.health()
+	m.Persist = nil
+	m.Observed = nil
 	tail := i.log.Tail()
 	completed := i.log.Completed()
 	minTail := i.log.MinLocalTail()
@@ -89,32 +133,39 @@ func (i *Instance[O, R]) Metrics() Metrics {
 		Occupancy: occ,
 	}
 	now := time.Now().UnixNano()
-	i.mu.Lock()
-	registered := make([]int, len(i.replicas))
-	for n, r := range i.replicas {
-		registered[n] = r.registered
-	}
-	i.mu.Unlock()
+	m.Replicas = m.Replicas[:0]
 	for n, r := range i.replicas {
 		local := r.localTail.Load()
 		var lag uint64
 		if completed > local {
 			lag = completed - local
 		}
+		i.mu.Lock()
+		registered := r.registered
+		i.mu.Unlock()
 		m.Replicas = append(m.Replicas, ReplicaGauges{
 			Node:           n,
 			LocalTail:      local,
 			CompletedLag:   lag,
-			Registered:     registered[n],
+			Registered:     registered,
 			CombinerHeldNs: int64(r.combinerLock.HeldFor(now)),
 			LingerWindowNs: r.lingerWindow.Load(),
+			ReaderAcquires: r.rw.ReaderAcquires(),
 		})
 	}
-	if mo := obs.FindMetrics(i.opts.Observer); mo != nil {
-		s := mo.Snapshot()
-		m.Observed = &s
+	if observed {
+		if mo := obs.FindMetrics(i.opts.Observer); mo != nil {
+			s := mo.Snapshot()
+			m.Observed = &s
+		}
 	}
-	return m
+}
+
+// ObservedMetrics returns the instance's built-in obs.Metrics observer, or
+// nil when it was built without one. The telemetry collector uses it to
+// read raw cumulative buckets (obs.ReadCum) instead of summary snapshots.
+func (i *Instance[O, R]) ObservedMetrics() *obs.Metrics {
+	return obs.FindMetrics(i.opts.Observer)
 }
 
 // Stats returns the counter slice of the Metrics snapshot. It remains as a

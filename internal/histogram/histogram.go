@@ -119,6 +119,96 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// NumBuckets is the number of buckets a Histogram (and a Cum) carries,
+// exported for consumers that walk raw buckets: the windowed telemetry
+// collector (internal/obs/tsdb) and the Prometheus exposition
+// (internal/obs/prom).
+const NumBuckets = numBuckets
+
+// BucketLower returns the inclusive lower bound of bucket idx in
+// nanoseconds. Bucket idx counts values in [BucketLower(idx),
+// BucketLower(idx+1)); the last bucket is unbounded above.
+func BucketLower(idx int) uint64 { return bucketLow(idx) }
+
+// Cum is a cumulative bucket-level snapshot of a Histogram: plain (non-
+// atomic) copies of every bucket count plus the total and sum. Two Cums
+// taken at different instants subtract bucket-wise into a *windowed*
+// distribution — the delta's percentiles describe only the interval between
+// the captures, which is how the telemetry collector derives per-window
+// tail latency from the always-cumulative histograms. The zero value is an
+// empty capture; Add accumulates (so one Cum can merge several per-node
+// histograms); Reset empties for reuse. A Cum is a value: no pointers, no
+// allocation to capture into one that already exists.
+type Cum struct {
+	Counts [numBuckets]uint64
+	Total  uint64
+	Sum    uint64
+}
+
+// Reset empties c for reuse.
+//
+//nr:noalloc
+func (c *Cum) Reset() { *c = Cum{} }
+
+// Add accumulates h's current buckets into c. Buckets are read individually
+// while recording may continue, so the capture is only approximately one
+// instant — the same contract as Snapshot everywhere else in this layer.
+//
+//nr:noalloc
+func (c *Cum) Add(h *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		c.Counts[i] += h.counts[i].Load()
+	}
+	c.Total += h.total.Load()
+	c.Sum += h.sum.Load()
+}
+
+// DeltaCount returns the number of observations between prev and cur
+// (0 when the captures are misordered).
+func DeltaCount(cur, prev *Cum) uint64 {
+	if cur.Total < prev.Total {
+		return 0
+	}
+	return cur.Total - prev.Total
+}
+
+// DeltaMean returns the mean duration of the observations between prev and
+// cur (0 with none).
+func DeltaMean(cur, prev *Cum) time.Duration {
+	n := DeltaCount(cur, prev)
+	if n == 0 || cur.Sum < prev.Sum {
+		return 0
+	}
+	return time.Duration((cur.Sum - prev.Sum) / n)
+}
+
+// DeltaPercentile returns a lower bound on the p-th percentile (0 < p <=
+// 100) of the observations recorded between the prev and cur captures,
+// walking the bucket-wise difference without materializing it.
+//
+//nr:noalloc
+func DeltaPercentile(cur, prev *Cum, p float64) time.Duration {
+	n := DeltaCount(cur, prev)
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		c, pc := cur.Counts[i], prev.Counts[i]
+		if c > pc {
+			seen += c - pc
+		}
+		if seen >= rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(bucketLow(numBuckets - 1))
+}
+
 // Summary renders the standard one-line latency report.
 func (h *Histogram) Summary() string {
 	if h.Count() == 0 {

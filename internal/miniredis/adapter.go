@@ -10,6 +10,7 @@ import (
 	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/obs/tsdb"
 )
 
 // nrShared adapts any nr.Executor-shaped keyspace to Shared.
@@ -43,6 +44,33 @@ func (s *nrShared) Register() (baseline.Executor[StoreOp, StoreResult], error) {
 // latency histograms do not merge — so INFO's latency section is absent for
 // sharded keyspaces).
 func (s *nrShared) Metrics() core.Metrics { return s.exec.Metrics() }
+
+// Telemetry implements TelemetrySource by probing the executor for the
+// windowed collector (attached by nr.WithTelemetry; nil otherwise — the
+// nr.Telemetry alias makes *nr.Instance and *nr.ShardedInstance both
+// satisfy the probe).
+func (s *nrShared) Telemetry() *tsdb.Collector {
+	if t, ok := s.exec.(interface{ Telemetry() *tsdb.Collector }); ok {
+		return t.Telemetry()
+	}
+	return nil
+}
+
+// ShardStats implements ShardStatsSource by probing the executor for the
+// per-shard breakdown (sharded deployments only). nrtop derives per-shard
+// throughput from these counters across polls.
+func (s *nrShared) ShardStats() []core.Stats {
+	sm, ok := s.exec.(interface{ ShardMetrics() nr.ShardedMetrics })
+	if !ok {
+		return nil
+	}
+	shards := sm.ShardMetrics().Shards
+	out := make([]core.Stats, len(shards))
+	for i := range shards {
+		out[i] = shards[i].Stats
+	}
+	return out
+}
 
 // fanExecutor is one worker's routing front over a sharded handle: keyed
 // commands to their owner shard, DBSIZE summed and FLUSHALL broadcast

@@ -12,6 +12,9 @@ import (
 	"time"
 
 	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/obs"
+	"github.com/asplos17/nr/internal/obs/prom"
+	"github.com/asplos17/nr/internal/obs/tsdb"
 )
 
 // Metrics returns the NR unified snapshot of the underlying keyspace, and
@@ -89,27 +92,101 @@ func (s *Server) Info() string {
 	return b.String()
 }
 
+// Telemetry returns the keyspace's windowed collector, nil when the
+// keyspace has none (baselines, or NR built without nr.WithTelemetry).
+func (s *Server) Telemetry() *tsdb.Collector {
+	if src, ok := s.shared.(TelemetrySource); ok {
+		return src.Telemetry()
+	}
+	return nil
+}
+
+// telemetryPayload is the windowed-telemetry slice of the JSON export.
+type telemetryPayload struct {
+	IntervalSeconds float64          `json:"interval_seconds"`
+	Windows         []tsdb.Window    `json:"windows"`
+	SLOs            []tsdb.SLOStatus `json:"slos,omitempty"`
+}
+
 // metricsPayload is the JSON body /metrics serves.
 type metricsPayload struct {
 	Server ServerStats   `json:"server"`
 	NR     *core.Metrics `json:"nr,omitempty"`
+	// ShardStats carries per-shard counters for sharded keyspaces; nrtop
+	// derives per-shard throughput from their deltas across polls.
+	ShardStats []core.Stats `json:"shard_stats,omitempty"`
+	// Telemetry carries the windowed views when the keyspace was built
+	// with nr.WithTelemetry.
+	Telemetry *telemetryPayload `json:"telemetry,omitempty"`
 }
 
-// MetricsHandler serves the full observability snapshot as JSON: the
-// serving-layer counters plus, for NR-backed keyspaces, the unified NR
-// metrics (stats, health, gauges, and distributions when built with the
-// metrics observer).
+// wantsPrometheus decides the /metrics representation: Prometheus text for
+// scrapers that ask for it (Accept mentioning text/plain or openmetrics,
+// or an explicit ?format=prometheus), JSON otherwise — the historical
+// default, which dashboards and nrtop consume.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// MetricsHandler serves the full observability snapshot: by default as
+// JSON — the serving-layer counters plus, for NR-backed keyspaces, the
+// unified NR metrics, per-shard counters, and windowed telemetry — and as
+// Prometheus text exposition (v0.0.4) under content negotiation (see
+// wantsPrometheus).
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			s.servePrometheus(w)
+			return
+		}
 		p := metricsPayload{Server: s.ServerStats()}
 		if m, ok := s.Metrics(); ok {
 			p.NR = &m
+		}
+		if src, ok := s.shared.(ShardStatsSource); ok {
+			p.ShardStats = src.ShardStats()
+		}
+		if t := s.Telemetry(); t != nil {
+			p.Telemetry = &telemetryPayload{
+				IntervalSeconds: t.Interval().Seconds(),
+				Windows:         t.Snapshot(),
+				SLOs:            t.SLOStatuses(),
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(p)
 	})
+}
+
+// servePrometheus renders the Prometheus exposition: the serving layer's
+// own families, the unified NR snapshot, and — when a telemetry collector
+// is attached — the latency/batch histograms (from the collector's newest
+// cumulative capture) and SLO gauges.
+func (s *Server) servePrometheus(w http.ResponseWriter) {
+	e := prom.New()
+	ss := s.ServerStats()
+	e.Gauge("nrredis_uptime_seconds", "Seconds since the server started.", ss.UptimeSeconds)
+	e.Gauge("nrredis_connected_clients", "Currently connected clients.", float64(ss.ConnectedClients))
+	e.Counter("nrredis_connections_total", "Connections accepted since start.", float64(ss.TotalConnections))
+	e.Counter("nrredis_commands_total", "Commands processed since start.", float64(ss.TotalCommands))
+	if m, ok := s.Metrics(); ok {
+		prom.AppendMetrics(e, &m)
+	}
+	if t := s.Telemetry(); t != nil {
+		var cum obs.Cum
+		if t.LatestCum(&cum) {
+			prom.AppendCum(e, &cum)
+		}
+		prom.AppendSLO(e, t.SLOStatuses())
+	}
+	w.Header().Set("Content-Type", prom.ContentType)
+	_, _ = e.WriteTo(w)
 }
 
 // HealthHandler serves a liveness/health probe: 200 with the Health JSON

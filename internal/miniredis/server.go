@@ -14,6 +14,7 @@ import (
 	nr "github.com/asplos17/nr"
 	"github.com/asplos17/nr/internal/baseline"
 	"github.com/asplos17/nr/internal/core"
+	"github.com/asplos17/nr/internal/obs/tsdb"
 	"github.com/asplos17/nr/internal/topology"
 	"github.com/asplos17/nr/internal/trace"
 )
@@ -128,6 +129,18 @@ type Server struct {
 // metrics snapshot (baseline.NRAdapter does; the lock/FC baselines do not).
 type MetricsSource interface {
 	Metrics() core.Metrics
+}
+
+// TelemetrySource is implemented by keyspaces carrying a windowed telemetry
+// collector (NR built with nr.WithTelemetry). Telemetry may return nil.
+type TelemetrySource interface {
+	Telemetry() *tsdb.Collector
+}
+
+// ShardStatsSource is implemented by sharded keyspaces that can report
+// per-shard counters for the /metrics export.
+type ShardStatsSource interface {
+	ShardStats() []core.Stats
 }
 
 // ServerOption customizes NewServer.

@@ -37,6 +37,8 @@ type nodeMetrics struct {
 	tailRetries      atomic.Uint64
 	writerWaits      atomic.Uint64
 	writerWaitSpins  atomic.Uint64
+	pressureRounds   atomic.Uint64
+	readerAcquires   atomic.Uint64
 	stalls           atomic.Uint64
 	panics           atomic.Uint64
 }
@@ -121,6 +123,13 @@ func (m *Metrics) BatchRound(node int, window time.Duration, gained, parallel in
 	}
 }
 
+// ReaderPressure implements Observer.
+func (m *Metrics) ReaderPressure(node, acquires int) {
+	n := m.at(node)
+	n.pressureRounds.Add(1)
+	n.readerAcquires.Add(uint64(acquires))
+}
+
 // Stall implements Observer.
 func (m *Metrics) Stall(node int, held time.Duration) {
 	m.at(node).stalls.Add(1)
@@ -187,6 +196,8 @@ type NodeSnapshot struct {
 	TailRetries      uint64 `json:"tail_retries"`
 	WriterWaits      uint64 `json:"writer_waits"`
 	WriterWaitSpins  uint64 `json:"writer_wait_spins"`
+	PressureRounds   uint64 `json:"pressure_rounds"`
+	ReaderAcquires   uint64 `json:"reader_acquires"`
 	Stalls           uint64 `json:"stalls"`
 	Panics           uint64 `json:"panics"`
 }
@@ -233,6 +244,8 @@ func (m *Metrics) Snapshot() Snapshot {
 			TailRetries:      n.tailRetries.Load(),
 			WriterWaits:      n.writerWaits.Load(),
 			WriterWaitSpins:  n.writerWaitSpins.Load(),
+			PressureRounds:   n.pressureRounds.Load(),
+			ReaderAcquires:   n.readerAcquires.Load(),
 			Stalls:           n.stalls.Load(),
 			Panics:           n.panics.Load(),
 		})

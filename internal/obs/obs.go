@@ -22,6 +22,13 @@
 //     with the linger window used, the ops the window gained, and the ops
 //     handed off by parallel combining (the policy engine's own telemetry,
 //     on top of CombineEnd's batch size).
+//   - ReaderPressure: one combining round's view of the node's reader
+//     traffic — how many read-lock acquisitions the replica saw since the
+//     node's previous round. Reported by the combiner (not per read: the
+//     read path stays free of observer calls beyond OpDone) from the
+//     distributed lock's per-slot acquisition counters, it is the signal
+//     the adaptive batching controller needs to fold reader refresh into
+//     its linger decisions (ROADMAP item 1 remainder).
 //   - Stall: the watchdog flagged a combiner holding its lock past the
 //     configured threshold (§6's stalled-thread hazard).
 //   - PanicContained: a user Execute panic was contained (failure model).
@@ -92,6 +99,10 @@ type Observer interface {
 	// phase collected beyond the first pass, parallel how many ops were
 	// handed to parked owners for concurrent execution (0 = serial round).
 	BatchRound(node int, window time.Duration, gained, parallel int)
+	// ReaderPressure fires once per combining round on node with the
+	// number of read-lock acquisitions the node's replica saw since the
+	// previous round (0-acquisition rounds are not reported).
+	ReaderPressure(node, acquires int)
 	// Stall fires when the watchdog flags node's combiner lock as held
 	// longer than the stall threshold (once per acquisition).
 	Stall(node int, held time.Duration)
@@ -247,6 +258,9 @@ func (Nop) WriterWait(int, int) {}
 // BatchRound implements Observer.
 func (Nop) BatchRound(int, time.Duration, int, int) {}
 
+// ReaderPressure implements Observer.
+func (Nop) ReaderPressure(int, int) {}
+
 // Stall implements Observer.
 func (Nop) Stall(int, time.Duration) {}
 
@@ -341,6 +355,13 @@ func (m Multi) WriterWait(node, spins int) {
 func (m Multi) BatchRound(node int, window time.Duration, gained, parallel int) {
 	for _, o := range m {
 		o.BatchRound(node, window, gained, parallel)
+	}
+}
+
+// ReaderPressure implements Observer.
+func (m Multi) ReaderPressure(node, acquires int) {
+	for _, o := range m {
+		o.ReaderPressure(node, acquires)
 	}
 }
 

@@ -1,0 +1,177 @@
+// Package prom is a hand-rolled Prometheus text-exposition (v0.0.4)
+// builder: enough of the format — HELP/TYPE lines, label escaping,
+// cumulative `le` buckets with _sum/_count — to publish NR's unified
+// metrics snapshot on a /metrics endpoint, with no dependency beyond the
+// standard library. Families are emitted in registration order, samples in
+// append order, so the output is deterministic and golden-testable.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair. Order is preserved as given.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// sample is one series: a label set and a value.
+type sample struct {
+	labels []Label
+	value  float64
+}
+
+// family is one metric family: HELP/TYPE plus its samples.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	samples []sample
+}
+
+// Exposition accumulates families and renders the text format. Zero value
+// is not ready; use New.
+type Exposition struct {
+	families []*family
+	index    map[string]*family
+}
+
+// New returns an empty Exposition.
+func New() *Exposition {
+	return &Exposition{index: make(map[string]*family)}
+}
+
+// at returns the named family, creating it with help/typ on first use.
+// Help and type of an existing family are not rewritten: first writer wins,
+// keeping HELP/TYPE unique per family however many label sets are added.
+func (e *Exposition) at(name, help, typ string) *family {
+	if f, ok := e.index[name]; ok {
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	e.index[name] = f
+	e.families = append(e.families, f)
+	return f
+}
+
+// Counter appends one counter series. Counters are cumulative; use _total
+// suffixed names per convention.
+func (e *Exposition) Counter(name, help string, v float64, labels ...Label) {
+	f := e.at(name, help, "counter")
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// Gauge appends one gauge series.
+func (e *Exposition) Gauge(name, help string, v float64, labels ...Label) {
+	f := e.at(name, help, "gauge")
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// HistogramData is a rendered histogram: cumulative bucket counts aligned
+// with UpperBounds (exclusive of +Inf, which Histogram adds from Count),
+// plus the observation count and sum.
+type HistogramData struct {
+	// UpperBounds are the `le` boundaries, ascending, +Inf excluded.
+	UpperBounds []float64
+	// CumCounts[i] counts observations <= UpperBounds[i].
+	CumCounts []uint64
+	Count     uint64
+	Sum       float64
+}
+
+// Histogram appends one histogram series set: one `le` bucket sample per
+// boundary plus +Inf, then _sum and _count. Bucket counts are clamped
+// monotone non-decreasing (racy capture of live counters can momentarily
+// invert adjacent buckets).
+func (e *Exposition) Histogram(name, help string, h HistogramData, labels ...Label) {
+	f := e.at(name, help, "histogram")
+	bucket := func(le string, v float64) sample {
+		ls := append([]Label{{Name: "__suffix", Value: "_bucket"}}, labels...)
+		return sample{labels: append(ls, Label{"le", le}), value: v}
+	}
+	var prev uint64
+	for i, ub := range h.UpperBounds {
+		c := h.CumCounts[i]
+		if c < prev {
+			c = prev
+		}
+		if c > h.Count {
+			c = h.Count
+		}
+		prev = c
+		f.samples = append(f.samples, bucket(formatFloat(ub), float64(c)))
+	}
+	f.samples = append(f.samples, bucket("+Inf", float64(h.Count)))
+	// _sum and _count render under suffixed names within the same family.
+	f.samples = append(f.samples,
+		sample{labels: append([]Label{{Name: "__suffix", Value: "_sum"}}, labels...), value: h.Sum},
+		sample{labels: append([]Label{{Name: "__suffix", Value: "_count"}}, labels...), value: float64(h.Count)},
+	)
+}
+
+// ContentType is the exposition format's content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders the exposition. Implements io.WriterTo.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, f := range e.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			name := f.name
+			labels := s.labels
+			if len(labels) > 0 && labels[0].Name == "__suffix" {
+				name += labels[0].Value
+				labels = labels[1:]
+			}
+			b.WriteString(name)
+			if len(labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// formatFloat renders a value the way Prometheus expects: integers without
+// exponent noise, +Inf spelled literally.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes label values for %q-adjacent rendering: %q already
+// handles quotes and control characters, so only pass-through is needed;
+// kept as a hook for future non-UTF8 handling.
+func escapeLabel(s string) string { return s }

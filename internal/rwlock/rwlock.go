@@ -41,15 +41,28 @@ type Lock interface {
 	// shared; a nil fn (the default) disables the hook. Implementations
 	// without reader-wait visibility may ignore it.
 	SetWriterWaitHook(fn func(spins int))
+	// ReaderAcquires returns the cumulative number of read-mode
+	// acquisitions — the reader-arrival signal NR's batching controller and
+	// windowed telemetry fold into their rate views. The distributed lock
+	// counts per reader slot on the slot's own cache line, so counting
+	// costs readers nothing extra; implementations without per-reader
+	// state (Centralized) report 0 rather than put an atomic counter on
+	// the shared read path.
+	ReaderAcquires() uint64
 }
 
 // padded is one per-reader flag on its own cache line (size checked by
-// nrlint's cachepad: a []padded must stride whole lines, §5.5).
+// nrlint's cachepad: a []padded must stride whole lines, §5.5). acq rides
+// on the same line: it counts the slot's read acquisitions, written only by
+// the slot's owning reader (atomically, because Metrics snapshots read it
+// concurrently), so the count is contention-free.
 //
 //nr:cacheline
 type padded struct {
-	v atomic.Int32
-	_ [60]byte
+	v   atomic.Int32
+	_   [4]byte
+	acq atomic.Uint64
+	_   [48]byte
 }
 
 // Distributed is the paper's lock: per-reader flags plus one writer flag.
@@ -105,7 +118,10 @@ func (l *Distributed) RLockObserved(slot int) (spins int) {
 		}
 		r.v.Store(1)
 		if l.writer.Load() == 0 {
-			return spins // entered; writer will see our flag
+			// Entered; the writer will see our flag. Single-writer counter:
+			// only slot's owner runs this path, so Load+Store suffices.
+			r.acq.Store(r.acq.Load() + 1)
+			return spins
 		}
 		// A writer raced in; back off and retry.
 		r.v.Store(0)
@@ -122,6 +138,19 @@ func (l *Distributed) RUnlock(slot int) {
 
 // SetWriterWaitHook installs the writer-wait observer hook.
 func (l *Distributed) SetWriterWaitHook(fn func(spins int)) { l.onWriterWait = fn }
+
+// ReaderAcquires sums the per-slot acquisition counters: the cumulative
+// number of read-mode acquisitions this lock has served. Slots are read
+// individually while readers keep arriving, so the sum is approximately
+// one instant (monotone, never wildly wrong) — the same contract as every
+// other gauge in the observability layer.
+func (l *Distributed) ReaderAcquires() uint64 {
+	var total uint64
+	for i := range l.readers {
+		total += l.readers[i].acq.Load()
+	}
+	return total
+}
 
 // waitReaders waits for every reader flag to drain, reporting spins to the
 // writer-wait hook. Caller holds the writer flag.
@@ -202,6 +231,11 @@ func (l *Centralized) Unlock() { l.mu.Unlock() }
 // SetWriterWaitHook is a no-op: sync.RWMutex gives no reader-wait
 // visibility.
 func (l *Centralized) SetWriterWaitHook(func(spins int)) {}
+
+// ReaderAcquires reports 0: counting acquisitions on a centralized lock
+// would itself need a shared atomic on the read path, distorting the very
+// baseline this lock exists to measure (like RLockObserved's 0 spins).
+func (l *Centralized) ReaderAcquires() uint64 { return 0 }
 
 // SpinMutex is a test-and-test-and-set spinlock: the "one big lock" (SL)
 // baseline of Fig. 4 and the combiner lock inside NR.

@@ -62,6 +62,7 @@ func aggregate(shards []core.Metrics) core.Metrics {
 			a.LocalTail += r.LocalTail
 			a.CompletedLag += r.CompletedLag
 			a.Registered += r.Registered
+			a.ReaderAcquires += r.ReaderAcquires
 			if r.CombinerHeldNs > a.CombinerHeldNs {
 				a.CombinerHeldNs = r.CombinerHeldNs // the longest-held combiner
 			}
@@ -77,6 +78,8 @@ func addStats(a, b core.Stats) core.Stats {
 	a.HelpedEntries += b.HelpedEntries
 	a.ReadOps += b.ReadOps
 	a.UpdateOps += b.UpdateOps
+	a.ParallelOps += b.ParallelOps
+	a.ReaderAcquires += b.ReaderAcquires
 	a.Panics += b.Panics
 	a.Stalls += b.Stalls
 	return a

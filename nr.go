@@ -97,6 +97,7 @@ type settings struct {
 	trace         *trace.Recorder
 	persist       *persistConfig
 	persistTuning []PersistOption
+	telemetry     *telemetryConfig
 }
 
 // WithConfig applies an entire Config struct, exactly as the pre-options
@@ -272,6 +273,7 @@ var ErrClosed = core.ErrClosed
 type Instance[O, R any] struct {
 	inner *core.Instance[O, R]
 	pst   *persistence[O] // nil unless built with WithPersistence/Recover
+	tel   *Telemetry      // nil unless built with WithTelemetry/WithSLO
 }
 
 // Handle executes operations on behalf of one registered goroutine. It is
@@ -342,6 +344,9 @@ func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance
 		}
 		inst.pst = pst
 	}
+	if s.telemetry != nil {
+		inst.tel = startTelemetry(inst, s.telemetry)
+	}
 	return inst, nil
 }
 
@@ -381,7 +386,47 @@ func (i *Instance[O, R]) Replicas() int { return i.inner.Replicas() }
 // Health failure state, live gauges for log occupancy and per-replica
 // completedTail lag, and — when built WithMetrics — latency histograms per
 // operation class and combiner batch-size distributions (Observed field).
-func (i *Instance[O, R]) Metrics() Metrics { return i.inner.Metrics() }
+// Instances built with persistence additionally carry the WAL's durability
+// gauges (Persist field), including the durable-index lag: how many
+// completed operations a crash right now would lose.
+func (i *Instance[O, R]) Metrics() Metrics {
+	m := i.inner.Metrics()
+	i.fillPersist(&m)
+	return m
+}
+
+// MetricsInto fills m in place, reusing its Replicas capacity; observed
+// skips or includes the Observed summary. The telemetry collector's cadence
+// tick uses it to avoid allocating a snapshot per tick.
+func (i *Instance[O, R]) MetricsInto(m *Metrics, observed bool) {
+	i.inner.MetricsInto(m, observed)
+	i.fillPersist(m)
+}
+
+// fillPersist folds the WAL's counters into the snapshot when the instance
+// is durable. DurableLag is computed against the same snapshot's Completed
+// gauge (both racy monotone reads, so the clamp absorbs any skew).
+func (i *Instance[O, R]) fillPersist(m *Metrics) {
+	if i.pst == nil {
+		return
+	}
+	ws := i.pst.wal.Stats()
+	durable := i.pst.wal.DurableIndex()
+	var lag uint64
+	if m.Log.Completed > durable {
+		lag = m.Log.Completed - durable
+	}
+	m.Persist = &core.PersistGauges{
+		Appends:      ws.Appends,
+		Pages:        ws.Pages,
+		Fsyncs:       ws.Fsyncs,
+		FsyncNanos:   ws.FsyncNanos,
+		Rotations:    ws.Rotations,
+		SealStalls:   ws.SealStalls,
+		DurableIndex: durable,
+		DurableLag:   lag,
+	}
+}
 
 // Stats returns internal counters (combining rounds, reads, helps, ...).
 // It is the Stats slice of Metrics.
@@ -409,6 +454,9 @@ func (i *Instance[O, R]) Quiesce() { i.inner.Quiesce() }
 // dedicated-combiners instance new registration is refused with ErrClosed.
 // Close is idempotent and a no-op otherwise.
 func (i *Instance[O, R]) Close() {
+	if i.tel != nil {
+		i.tel.Close()
+	}
 	i.inner.Close()
 	if i.pst != nil {
 		_ = i.pst.wal.Close()

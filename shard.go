@@ -49,6 +49,7 @@ type ShardedMetrics = shard.Metrics
 // update traffic routed to different shards contends on nothing at all.
 type ShardedInstance[O, R any] struct {
 	inner *shard.Instance[O, R]
+	tel   *Telemetry // nil unless built with WithTelemetry/WithSLO
 }
 
 // ShardedHandle executes operations on behalf of one registered goroutine:
@@ -87,7 +88,11 @@ func NewSharded[O, R any](create func() Sequential[O, R], shards int, router Rou
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedInstance[O, R]{inner: inner}, nil
+	inst := &ShardedInstance[O, R]{inner: inner}
+	if s.telemetry != nil {
+		inst.tel = startShardedTelemetry(inst, s.telemetry)
+	}
+	return inst, nil
 }
 
 // Register binds the calling goroutine to the next hardware-thread position
@@ -161,8 +166,13 @@ func (i *ShardedInstance[O, R]) MemoryBytes() uint64 { return i.inner.MemoryByte
 func (i *ShardedInstance[O, R]) Quiesce() { i.inner.Quiesce() }
 
 // Close stops every shard's background goroutines (dedicated combiners,
-// stall watchdogs). Idempotent.
-func (i *ShardedInstance[O, R]) Close() { i.inner.Close() }
+// stall watchdogs) and the telemetry collector, if attached. Idempotent.
+func (i *ShardedInstance[O, R]) Close() {
+	if i.tel != nil {
+		i.tel.Close()
+	}
+	i.inner.Close()
+}
 
 // Inspect quiesces the given shard's replica on node and runs fn on its
 // sequential structure with the write lock held. fn must not retain the
