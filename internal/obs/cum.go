@@ -157,8 +157,20 @@ func AddCum(dst, src *Cum) {
 	}
 	dst.Batch.Total += src.Batch.Total
 	dst.Batch.Sum += src.Batch.Sum
-	for len(dst.Nodes) < len(src.Nodes) {
-		dst.Nodes = append(dst.Nodes, NodeCum{})
+	if len(dst.Nodes) < len(src.Nodes) {
+		if cap(dst.Nodes) < len(src.Nodes) {
+			grown := make([]NodeCum, len(src.Nodes)) //nr:allocok sizes once, reused forever after
+			copy(grown, dst.Nodes)
+			dst.Nodes = grown
+		} else {
+			// Reuse capacity; the tail holds values from a prior window and
+			// must be zeroed before the index-wise += below.
+			tail := dst.Nodes[len(dst.Nodes):len(src.Nodes)]
+			for i := range tail {
+				tail[i] = NodeCum{}
+			}
+			dst.Nodes = dst.Nodes[:len(src.Nodes)]
+		}
 	}
 	for i := range src.Nodes {
 		d, s := &dst.Nodes[i], &src.Nodes[i]
