@@ -24,7 +24,9 @@ func NewGobCodec[O any]() *GobCodec[O] { return &GobCodec[O]{} }
 // stream so records stay independently decodable (a WAL record must not
 // depend on its predecessors' type dictionary).
 func (c *GobCodec[O]) AppendEncode(dst []byte, op O) ([]byte, error) {
-	c.mu.Lock()
+	// Guards the scratch buffer against direct multi-goroutine use; under NR
+	// only the combiner encodes, so the lock is uncontended there.
+	c.mu.Lock() //nr:blockok
 	defer c.mu.Unlock()
 	c.buf.Reset()
 	enc := gob.NewEncoder(&c.buf)

@@ -61,6 +61,11 @@ type Pass struct {
 	Sizes types.Sizes
 	// Directives are the package's parsed //nr: annotations.
 	Directives *Directives
+	// Graph is the module-wide call graph over every package the loader has
+	// loaded so far; the interprocedural analyzers (lockorder, noblock, the
+	// deep noalloc/noio passes) consume it. Nil when the package was built
+	// without a Loader.
+	Graph *Graph
 
 	report func(Diagnostic)
 }
@@ -74,6 +79,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // file/position order. An analyzer returning an error aborts the run.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs := CollectDirectives(pkg.Fset, pkg.Files)
+	var g *Graph
+	if pkg.loader != nil {
+		g = pkg.loader.Graph()
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -84,6 +93,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Info:       pkg.Info,
 			Sizes:      pkg.Sizes,
 			Directives: dirs,
+			Graph:      g,
 			report:     func(d Diagnostic) { out = append(out, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -108,5 +118,5 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns every nrlint analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CachePad, AtomicMix, NoAlloc, SpinLoop, ObsGuard, NoIO}
+	return []*Analyzer{CachePad, AtomicMix, NoAlloc, SpinLoop, ObsGuard, NoIO, LockOrder, NoBlock}
 }

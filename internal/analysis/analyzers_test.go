@@ -30,3 +30,19 @@ func TestObsGuard(t *testing.T) {
 func TestNoIO(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.NoIO, "noio")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder")
+}
+
+func TestNoBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoBlock, "noblock")
+}
+
+func TestNoAllocDeep(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoAlloc, "noallocdeep")
+}
+
+func TestNoIODeep(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoIO, "noiodeep")
+}

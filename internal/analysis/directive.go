@@ -10,15 +10,40 @@ package analysis
 //	                          struct's size must be a multiple of 64 so
 //	                          array/slice elements never share a line.
 //	//nr:noalloc              on a function: the body must contain no
-//	                          statically-detectable allocation site.
+//	                          statically-detectable allocation site, and no
+//	                          call chain from it may reach one (interprocedural
+//	                          via the call graph).
+//	//nr:hotpath-noio         on a function: the body and its call chains must
+//	                          never call into os/syscall.
 //	//nr:spin                 on a function: busy-wait loops must yield on
 //	                          every path (runtime.Gosched / time.Sleep /
 //	                          channel op) and infinite loops in methods of
-//	                          stop-channel-owning types must check stop.
+//	                          stop-channel-owning types must check stop. Also
+//	                          a noblock root: nothing reachable from the body
+//	                          may park the goroutine.
+//	//nr:noblock              on a function: noblock root without the spinloop
+//	                          shape requirements.
 //	//nr:nilguard             on a func-typed struct field: calls through the
 //	                          field must be dominated by a nil check.
+//	//nr:lockorder <class>    on a lock-typed struct field or package var:
+//	                          names the lock's order class.
+//	//nr:lockorder a < b < c  anywhere: declares the acquisition partial order
+//	                          over named classes (transitively closed).
+//	//nr:opaque               on an interface method declaration: the method is
+//	                          a black-box dispatch boundary; the call graph
+//	                          never resolves calls through it (Sequential.Execute).
 //	//nr:allocok              on a line (same line or the line above a
-//	                          statement): suppresses noalloc for that site.
+//	                          statement): suppresses noalloc for that site or
+//	                          chain. On a function: documents the function as
+//	                          allowed to allocate — a barrier for callers'
+//	                          interprocedural checks.
+//	//nr:iook                 on a line: suppresses noio for that site or
+//	                          chain. On a function: documented-I/O barrier.
+//	//nr:blockok              on a line: suppresses noblock for that site. On a
+//	                          function: documented-blocking barrier — no-block
+//	                          contexts do not propagate inside.
+//	//nr:lockok               on a line: suppresses lockorder at that
+//	                          acquisition (documented exception).
 //	//nr:guarded              on a line: suppresses obsguard for that site.
 //
 // Like //go:build, a directive is only recognized with no space after the
@@ -48,18 +73,42 @@ type Directives struct {
 	fset  *token.FileSet
 }
 
-// parseDirective decodes one comment, reporting ok=false for non-directives.
-func parseDirective(c *ast.Comment) (Directive, bool) {
+// validDirectiveName reports whether s is a well-formed directive name
+// (lowercase words and dashes). Guarding on this keeps prose that merely
+// mentions "//nr:spin:" mid-sentence from registering junk directives.
+func validDirectiveName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseDirectives decodes one comment into its directives. A comment must
+// start with //nr: (no space after the slashes, like //go:build) to carry
+// directives at all; after that, further //nr: segments in the same comment
+// each start a new directive, so one line can suppress several analyzers:
+//
+//	i.dump() //nr:allocok //nr:iook cold black-box dump
+func parseDirectives(c *ast.Comment) []Directive {
 	rest, ok := strings.CutPrefix(c.Text, "//nr:")
 	if !ok {
-		return Directive{}, false
+		return nil
 	}
-	name, args, _ := strings.Cut(rest, " ")
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return Directive{}, false
+	var out []Directive
+	for _, seg := range strings.Split(rest, "//nr:") {
+		name, args, _ := strings.Cut(seg, " ")
+		name = strings.TrimSpace(name)
+		if !validDirectiveName(name) {
+			continue
+		}
+		out = append(out, Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)})
 	}
-	return Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)}, true
+	return out
 }
 
 func groupDirectives(groups ...*ast.CommentGroup) []Directive {
@@ -69,9 +118,7 @@ func groupDirectives(groups ...*ast.CommentGroup) []Directive {
 			continue
 		}
 		for _, c := range g.List {
-			if d, ok := parseDirective(c); ok {
-				out = append(out, d)
-			}
+			out = append(out, parseDirectives(c)...)
 		}
 	}
 	return out
@@ -93,17 +140,15 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	for _, f := range files {
 		for _, g := range f.Comments {
 			for _, c := range g.List {
-				d, ok := parseDirective(c)
-				if !ok {
-					continue
+				for _, d := range parseDirectives(c) {
+					pos := fset.Position(c.Pos())
+					byLine := ds.lines[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]string)
+						ds.lines[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], d.Name)
 				}
-				pos := fset.Position(c.Pos())
-				byLine := ds.lines[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					ds.lines[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = append(byLine[pos.Line], d.Name)
 			}
 		}
 		for _, decl := range f.Decls {
@@ -128,13 +173,27 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					if dirs := groupDirectives(groups...); len(dirs) > 0 {
 						ds.types[ts] = dirs
 					}
-					st, ok := ts.Type.(*ast.StructType)
-					if !ok || st.Fields == nil {
-						continue
-					}
-					for _, field := range st.Fields.List {
-						if dirs := groupDirectives(field.Doc, field.Comment); len(dirs) > 0 {
-							ds.fields[field] = dirs
+					switch t := ts.Type.(type) {
+					case *ast.StructType:
+						if t.Fields == nil {
+							continue
+						}
+						for _, field := range t.Fields.List {
+							if dirs := groupDirectives(field.Doc, field.Comment); len(dirs) > 0 {
+								ds.fields[field] = dirs
+							}
+						}
+					case *ast.InterfaceType:
+						// Interface methods are fields too; //nr:opaque on a
+						// method marks a black-box dispatch boundary for the
+						// call graph.
+						if t.Methods == nil {
+							continue
+						}
+						for _, m := range t.Methods.List {
+							if dirs := groupDirectives(m.Doc, m.Comment); len(dirs) > 0 {
+								ds.fields[m] = dirs
+							}
 						}
 					}
 				}

@@ -15,7 +15,10 @@ func TestRepoPackagesClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the full module from source")
 	}
-	dirs := []string{"../core", "../log", "../rwlock", "../trace", "../obs"}
+	dirs := []string{
+		"../core", "../log", "../rwlock", "../trace", "../obs",
+		"../persist", "../baseline", "../obs/tsdb", "../obs/prom", "../..",
+	}
 	loader := NewLoader()
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)

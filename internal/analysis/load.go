@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package directory.
@@ -26,6 +27,10 @@ type Package struct {
 	Types   *types.Package
 	Info    *types.Info
 	Sizes   types.Sizes
+
+	// loader is the Loader that produced this package; Run reaches the
+	// module call graph through it for the interprocedural analyzers.
+	loader *Loader
 }
 
 // Loader type-checks package directories with only the standard library: the
@@ -46,6 +51,11 @@ type Loader struct {
 
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	// graph caches the module call graph (callgraph.go), rebuilt whenever
+	// more packages have been loaded since the last Graph() call.
+	graphMu sync.Mutex
+	graph   *Graph
 }
 
 // NewLoader builds a Loader.
@@ -198,6 +208,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		Types:   tpkg,
 		Info:    info,
 		Sizes:   l.sizes,
+		loader:  l,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

@@ -44,27 +44,40 @@ func runNoAlloc(pass *Pass) error {
 			if !ok || fn.Body == nil || !pass.Directives.FuncHas(fn, "noalloc") {
 				continue
 			}
-			na := &noAlloc{pass: pass, fn: fn, calledLits: make(map[*ast.FuncLit]bool)}
+			na := &noAlloc{
+				info: pass.Info, pkg: pass.Pkg, dirs: pass.Directives, fn: fn,
+				calledLits: make(map[*ast.FuncLit]bool),
+				report: func(n ast.Node, format string, args ...any) {
+					pass.Reportf(n.Pos(), format, args...)
+				},
+			}
 			na.markSafeLiterals()
 			na.check()
+			checkDeepAlloc(pass, fn)
 		}
 	}
 	return nil
 }
 
+// noAlloc scans one function body for allocation sites. It is deliberately
+// decoupled from Pass: the interprocedural facts engine (deepfacts.go) runs
+// it over unannotated helpers in other packages.
 type noAlloc struct {
-	pass *Pass
+	info *types.Info
+	pkg  *types.Package
+	dirs *Directives
 	fn   *ast.FuncDecl
 	// calledLits are func literals that never escape: immediately invoked,
 	// deferred, or bound to a local used only in call position.
 	calledLits map[*ast.FuncLit]bool
+	report     func(n ast.Node, format string, args ...any)
 }
 
 func (na *noAlloc) flag(n ast.Node, format string, args ...any) {
-	if na.pass.Directives.LineHas(n.Pos(), "allocok") {
+	if na.dirs.LineHas(n.Pos(), "allocok") {
 		return
 	}
-	na.pass.Reportf(n.Pos(), format, args...)
+	na.report(n, format, args...)
 }
 
 // markSafeLiterals finds func literals that do not escape the function.
@@ -91,7 +104,7 @@ func (na *noAlloc) markSafeLiterals() {
 			if !ok {
 				return true
 			}
-			if obj := na.pass.Info.Defs[id]; obj != nil && na.onlyCalled(obj) {
+			if obj := na.info.Defs[id]; obj != nil && na.onlyCalled(obj) {
 				na.calledLits[lit] = true
 			}
 		}
@@ -110,7 +123,7 @@ func (na *noAlloc) onlyCalled(obj types.Object) bool {
 			stack = stack[:len(stack)-1]
 			return true
 		}
-		if id, isIdent := n.(*ast.Ident); isIdent && na.pass.Info.Uses[id] == obj {
+		if id, isIdent := n.(*ast.Ident); isIdent && na.info.Uses[id] == obj {
 			call, isCall := stack[len(stack)-1].(*ast.CallExpr)
 			if !isCall || ast.Unparen(call.Fun) != id {
 				ok = false
@@ -123,7 +136,7 @@ func (na *noAlloc) onlyCalled(obj types.Object) bool {
 }
 
 func (na *noAlloc) check() {
-	info := na.pass.Info
+	info := na.info
 	ast.Inspect(na.fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -162,7 +175,7 @@ func (na *noAlloc) checkConcat(n *ast.BinaryExpr) {
 	if n.Op != token.ADD {
 		return
 	}
-	tv := na.pass.Info.Types[n]
+	tv := na.info.Types[n]
 	if tv.Value != nil { // constant-folded
 		return
 	}
@@ -172,7 +185,7 @@ func (na *noAlloc) checkConcat(n *ast.BinaryExpr) {
 }
 
 func (na *noAlloc) checkCall(call *ast.CallExpr) {
-	info := na.pass.Info
+	info := na.info
 	fun := ast.Unparen(call.Fun)
 
 	// Type conversions: string <-> []byte / []rune copy.
@@ -230,7 +243,7 @@ func (na *noAlloc) checkConversion(call *ast.CallExpr, to types.Type) {
 	if len(call.Args) != 1 {
 		return
 	}
-	from := na.pass.Info.Types[call.Args[0]].Type
+	from := na.info.Types[call.Args[0]].Type
 	if from == nil {
 		return
 	}
@@ -246,7 +259,7 @@ func (na *noAlloc) checkAssignBoxing(n *ast.AssignStmt) {
 		return
 	}
 	for i, lhs := range n.Lhs {
-		lt := na.pass.Info.Types[lhs].Type
+		lt := na.info.Types[lhs].Type
 		if lt == nil {
 			continue
 		}
@@ -255,7 +268,7 @@ func (na *noAlloc) checkAssignBoxing(n *ast.AssignStmt) {
 }
 
 func (na *noAlloc) checkReturnBoxing(n *ast.ReturnStmt) {
-	sig, ok := na.pass.Info.Defs[na.fn.Name].Type().(*types.Signature)
+	sig, ok := na.info.Defs[na.fn.Name].Type().(*types.Signature)
 	if !ok || len(n.Results) != sig.Results().Len() {
 		return
 	}
@@ -276,7 +289,7 @@ func (na *noAlloc) checkBoxing(expr ast.Expr, target types.Type, what string) {
 	if _, ok := target.Underlying().(*types.Interface); !ok {
 		return
 	}
-	tv := na.pass.Info.Types[expr]
+	tv := na.info.Types[expr]
 	from := tv.Type
 	if from == nil || types.Identical(from, target) {
 		return
@@ -293,7 +306,7 @@ func (na *noAlloc) checkBoxing(expr ast.Expr, target types.Type, what string) {
 		}
 	}
 	na.flag(expr, "%s boxes %s into %s in //nr:noalloc function",
-		what, types.TypeString(from, types.RelativeTo(na.pass.Pkg)), types.TypeString(target, types.RelativeTo(na.pass.Pkg)))
+		what, types.TypeString(from, types.RelativeTo(na.pkg)), types.TypeString(target, types.RelativeTo(na.pkg)))
 }
 
 func isString(t types.Type) bool {

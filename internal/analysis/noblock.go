@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NoBlock checks that no function running in a *no-block context* can reach
+// a blocking operation. A no-block context is entered three ways: a spin
+// lock (StampedMutex / SpinMutex class) may be held — every cycle spent
+// blocked is a cycle every other thread on the node spins through (§5.2's
+// combiner critical section); the function is annotated //nr:spin (its
+// busy-wait is someone else's critical-section budget); or it is annotated
+// //nr:noblock (a protocol obligation, e.g. the WAL append path whose
+// callers hold the combiner lock through a generic interface). The context
+// propagates through the call graph (static, interface, generic-interface
+// and defer edges; go-spawns start clean).
+//
+// Blocking operations: channel send/receive, select without a default
+// clause, range over a channel, time.Sleep, acquiring a sync.Mutex /
+// sync.RWMutex (including registered lock classes backed by them),
+// sync.WaitGroup.Wait, sync.Cond.Wait, and any call into os/syscall.
+// runtime.Gosched and spinning acquisitions (rwlock types) are yields, not
+// blocks.
+//
+// Suppression: //nr:blockok on the site's line documents one exception
+// (the WAL's seal-request handoff); //nr:blockok on a function declaration
+// exempts the whole function and stops context propagation through it (a
+// documented cold path such as the flight recorder's AutoDump).
+var NoBlock = &Analyzer{
+	Name: "noblock",
+	Doc:  "check functions reachable in spin/no-block contexts never block (interprocedural)",
+	Run:  runNoBlock,
+}
+
+func runNoBlock(pass *Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	for _, d := range g.noblockResults() {
+		if d.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+	return nil
+}
+
+// blockCtx records how a function came to run in a no-block context.
+type blockCtx struct {
+	// caller propagated the context (nil at an annotation origin).
+	caller *types.Func
+	// desc describes the origin ("annotated //nr:spin", "spin lock class
+	// combiner acquired in core.combine").
+	desc string
+}
+
+// isBlockingCallee classifies std callees that park the goroutine.
+func isBlockingCallee(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "call to time.Sleep", true
+		}
+	case "sync":
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := derefNamed(sig.Recv().Type()); ok {
+				recv = named.Obj().Name()
+			}
+		}
+		switch {
+		case (recv == "Mutex" || recv == "RWMutex") && (fn.Name() == "Lock" || fn.Name() == "RLock"):
+			return "acquiring sync." + recv, true
+		case recv == "WaitGroup" && fn.Name() == "Wait":
+			return "call to sync.WaitGroup.Wait", true
+		case recv == "Cond" && fn.Name() == "Wait":
+			return "call to sync.Cond.Wait", true
+		}
+	case "os", "syscall", "io/ioutil":
+		return "call into " + pkg.Path(), true
+	}
+	return "", false
+}
+
+func spinHeldClass(held heldSet) *lockClass {
+	var best *lockClass
+	for c := range held {
+		if c.spin && (best == nil || c.name < best.name) {
+			best = c
+		}
+	}
+	return best
+}
+
+// noblockResults computes (once) the module-wide noblock diagnostics.
+func (g *Graph) noblockResults() []globalDiag {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.noblockRes != nil {
+		return *g.noblockRes
+	}
+	facts := g.factsLocked()
+	nodes := g.sortedNodes()
+
+	// Context propagation: origins are //nr:noblock///nr:spin annotations
+	// and call sites executed while a spin class is locally held; context
+	// then flows to callees over every same-goroutine edge. //nr:blockok
+	// on a function is a barrier: its body is a documented exception and
+	// is not used to extend the context further.
+	ctx := make(map[*types.Func]blockCtx)
+	var queue []*FuncNode
+	addCtx := func(fn *types.Func, c blockCtx) {
+		node := g.funcs[fn]
+		if node == nil || node.FuncHas("blockok") {
+			return
+		}
+		if _, ok := ctx[fn]; ok {
+			return
+		}
+		ctx[fn] = c
+		queue = append(queue, node)
+	}
+	for _, n := range nodes {
+		if n.FuncHas("noblock") {
+			addCtx(n.Fn, blockCtx{desc: "annotated //nr:noblock"})
+		} else if n.FuncHas("spin") {
+			addCtx(n.Fn, blockCtx{desc: "annotated //nr:spin"})
+		}
+	}
+	for _, n := range nodes {
+		node := n
+		if node.FuncHas("blockok") {
+			continue
+		}
+		g.walkLockFlow(node, heldSet{}, facts.sums, flowVisitor{
+			onCall: func(edges []Edge, call *ast.CallExpr, held heldSet) {
+				spin := spinHeldClass(held)
+				if spin == nil {
+					return
+				}
+				for _, e := range edges {
+					if e.Kind == EdgeGo {
+						continue
+					}
+					addCtx(e.Callee, blockCtx{
+						caller: node.Fn,
+						desc:   fmt.Sprintf("spin lock class %s acquired in %s", spin.name, funcString(node.Fn)),
+					})
+				}
+			},
+		})
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Calls {
+			if e.Kind == EdgeGo {
+				continue
+			}
+			addCtx(e.Callee, blockCtx{caller: n.Fn, desc: ctx[n.Fn].desc})
+		}
+	}
+
+	chain := func(fn *types.Func) string {
+		fns := []*types.Func{fn}
+		cur := fn
+		for depth := 0; depth < 6; depth++ {
+			info, ok := ctx[cur]
+			if !ok || info.caller == nil {
+				break
+			}
+			fns = append([]*types.Func{info.caller}, fns...)
+			cur = info.caller
+		}
+		return chainString(fns)
+	}
+
+	// Check phase: every blocking site in a context function; blocking
+	// sites while a spin class is locally held in any function.
+	var diags []globalDiag
+	for _, n := range nodes {
+		node := n
+		if node.FuncHas("blockok") {
+			continue
+		}
+		info, inCtx := ctx[node.Fn]
+		// commRanges are select comm-clause header spans: a blocking
+		// select is reported once at the select, not per comm op.
+		var commRanges [][2]token.Pos
+		inComm := func(pos token.Pos) bool {
+			for _, r := range commRanges {
+				if r[0] <= pos && pos <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		report := func(pos token.Pos, desc string, held heldSet) {
+			spin := spinHeldClass(held)
+			if !inCtx && spin == nil {
+				return
+			}
+			if g.LineHas(pos, "blockok") {
+				return
+			}
+			var why string
+			switch {
+			case spin != nil:
+				why = fmt.Sprintf("while spin lock class %s may be held", spin.name)
+			case info.caller == nil:
+				why = fmt.Sprintf("in a no-block context (%s)", info.desc)
+			default:
+				why = fmt.Sprintf("in a no-block context (%s; reachable via %s)", info.desc, chain(node.Fn))
+			}
+			diags = append(diags, globalDiag{
+				pkgPath: node.Pkg.PkgPath, pos: pos,
+				msg: fmt.Sprintf("%s %s; a parked goroutine here stalls every spinner — restructure, or document with //nr:blockok", desc, why),
+			})
+		}
+		g.walkLockFlow(node, heldSet{}, facts.sums, flowVisitor{
+			onAcquire: func(op lockOp, call *ast.CallExpr, held heldSet) {
+				if op.try || !op.acquire || !op.class.syncBlocking {
+					return
+				}
+				report(call.Pos(), fmt.Sprintf("acquiring blocking lock class %s (sync mutex)", op.class.name), held)
+			},
+			onCall: func(edges []Edge, call *ast.CallExpr, held heldSet) {
+				if inComm(call.Pos()) {
+					return
+				}
+				for _, e := range edges {
+					if e.Kind == EdgeGo {
+						continue
+					}
+					if desc, ok := isBlockingCallee(e.Callee); ok {
+						report(call.Pos(), desc, held)
+						return
+					}
+				}
+			},
+			onNode: func(nd ast.Node, held heldSet) {
+				switch nd := nd.(type) {
+				case *ast.SelectStmt:
+					hasDefault := false
+					for _, cl := range nd.Body.List {
+						cc, ok := cl.(*ast.CommClause)
+						if !ok {
+							continue
+						}
+						if cc.Comm == nil {
+							hasDefault = true
+						} else {
+							commRanges = append(commRanges, [2]token.Pos{cc.Comm.Pos(), cc.Comm.End()})
+						}
+					}
+					if !hasDefault {
+						report(nd.Pos(), "select without a default clause", held)
+					}
+				case *ast.SendStmt:
+					if !inComm(nd.Pos()) {
+						report(nd.Pos(), "channel send", held)
+					}
+				case *ast.UnaryExpr:
+					if nd.Op == token.ARROW && !inComm(nd.Pos()) {
+						report(nd.Pos(), "channel receive", held)
+					}
+				case *ast.RangeStmt:
+					if tv, ok := node.Pkg.Info.Types[nd.X]; ok && tv.Type != nil {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							report(nd.Pos(), "range over channel", held)
+						}
+					}
+				}
+			},
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pkgPath != diags[j].pkgPath {
+			return diags[i].pkgPath < diags[j].pkgPath
+		}
+		return diags[i].pos < diags[j].pos
+	})
+	g.noblockRes = &diags
+	return diags
+}

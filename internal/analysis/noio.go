@@ -39,31 +39,41 @@ func runNoIO(pass *Pass) error {
 				continue
 			}
 			checkNoIO(pass, fn)
+			checkDeepIO(pass, fn)
 		}
 	}
 	return nil
 }
 
 func checkNoIO(pass *Pass, fn *ast.FuncDecl) {
+	scanIO(pass.Info, pass.Pkg, pass.Directives, fn, func(call *ast.CallExpr, what string) {
+		pass.Reportf(call.Pos(), "call to %s in //nr:hotpath-noio function performs file I/O on a hot path", what)
+	})
+}
+
+// scanIO finds calls into ioPackages in fn's body, skipping //nr:iook lines.
+// It is decoupled from Pass so the deep-facts engine (deepfacts.go) can scan
+// unannotated helpers in other packages.
+func scanIO(info *types.Info, pkg *types.Package, dirs *Directives, fn *ast.FuncDecl, flag func(call *ast.CallExpr, what string)) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		callee := calleeFunc(pass, call)
+		callee := staticCallee(info, call)
 		if callee == nil || callee.Pkg() == nil || !ioPackages[callee.Pkg().Path()] {
 			return true
 		}
-		if pass.Directives.LineHas(call.Pos(), "iook") {
+		if dirs.LineHas(call.Pos(), "iook") {
 			return true
 		}
 		what := callee.Name()
 		if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
-			what = types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)) + "." + what
+			what = types.TypeString(recv.Type(), types.RelativeTo(pkg)) + "." + what
 		} else {
 			what = callee.Pkg().Name() + "." + what
 		}
-		pass.Reportf(call.Pos(), "call to %s in //nr:hotpath-noio function performs file I/O on a hot path", what)
+		flag(call, what)
 		return true
 	})
 }
@@ -71,13 +81,17 @@ func checkNoIO(pass *Pass, fn *ast.FuncDecl) {
 // calleeFunc resolves the *types.Func a call statically dispatches to, or
 // nil for builtins, conversions, and calls through function values.
 func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	return staticCallee(pass.Info, call)
+}
+
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
 			return f
 		}
 	case *ast.Ident:
-		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+		if f, ok := info.Uses[fun].(*types.Func); ok {
 			return f
 		}
 	}

@@ -1,0 +1,51 @@
+// Package callgraph is a structural fixture for the call-graph unit tests:
+// interface dispatch resolved to every implementation, the //nr:opaque
+// boundary, and go/defer edge kinds. It carries no want comments — the tests
+// assert on the graph's edges directly.
+package callgraph
+
+// Locker is a module interface with two implementations.
+type Locker interface {
+	Acquire()
+	Release()
+}
+
+type SpinL struct{ n int }
+
+func (*SpinL) Acquire() {}
+func (*SpinL) Release() {}
+
+type QueueL struct{ n int }
+
+func (*QueueL) Acquire() {}
+func (*QueueL) Release() {}
+
+// UseIface dispatches through the interface: one EdgeIface per
+// implementation.
+func UseIface(l Locker) {
+	l.Acquire()
+	l.Release()
+}
+
+// Op is a black-box boundary: calls through Apply must not be resolved.
+type Op interface {
+	Apply(x int) int //nr:opaque
+}
+
+type ConcreteOp struct{}
+
+func (ConcreteOp) Apply(x int) int { return x + 1 }
+
+// UseOpaque calls through the opaque method: zero edges for the call.
+func UseOpaque(o Op) int { return o.Apply(1) }
+
+func Leaf() {}
+
+// Spawner reaches Leaf once on a new goroutine and once deferred.
+func Spawner() {
+	go Leaf()
+	defer Leaf()
+	helper()
+}
+
+func helper() {}

@@ -1,0 +1,93 @@
+// Package lockorder holds fixtures for the lockorder analyzer: a declared
+// two-class order with a direct and an interprocedural inversion, a blocking
+// re-acquisition, an undeclared cycle, and the //nr:lockok escape hatch.
+//
+//nr:lockorder a < b
+package lockorder
+
+import "sync"
+
+type S struct {
+	ma sync.Mutex //nr:lockorder a
+	mb sync.Mutex //nr:lockorder b
+}
+
+// good acquires in the declared order.
+func good(s *S) {
+	s.ma.Lock()
+	s.mb.Lock()
+	s.mb.Unlock()
+	s.ma.Unlock()
+}
+
+// directInversion acquires b then a in one body.
+func directInversion(s *S) {
+	s.mb.Lock()
+	s.ma.Lock() // want "acquires lock class a while holding b: inverts declared order a < b"
+	s.ma.Unlock()
+	s.mb.Unlock()
+}
+
+// deepInversion acquires b, then reaches a's acquisition through a helper:
+// the diagnostic lands at the acquisition site inside the helper, with the
+// witness chain naming this caller.
+func deepInversion(s *S) {
+	s.mb.Lock()
+	takeA(s)
+	s.ma.Unlock()
+	s.mb.Unlock()
+}
+
+func takeA(s *S) {
+	s.ma.Lock() // want "acquires lock class a while holding b: inverts declared order a < b \\(b held entering lockorder.takeA via lockorder.deepInversion -> lockorder.takeA\\)"
+}
+
+// reacquire blocks on a class the caller already holds.
+func reacquire(s *S) {
+	s.ma.Lock()
+	lockAgain(s)
+	s.ma.Unlock()
+}
+
+func lockAgain(s *S) {
+	s.ma.Lock() // want "blocking re-acquisition of lock class a while it may already be held"
+}
+
+// T's locks are not named by any //nr:lockorder directive; acquiring them in
+// both orders is a cycle among undeclared classes.
+type T struct {
+	mc sync.Mutex
+	md sync.Mutex
+}
+
+func cycleCD(t *T) {
+	t.mc.Lock()
+	t.md.Lock() // want "potential deadlock: acquiring lockorder.T.md while holding lockorder.T.mc completes a lock cycle among undeclared classes"
+	t.md.Unlock()
+	t.mc.Unlock()
+}
+
+func cycleDC(t *T) {
+	t.md.Lock()
+	t.mc.Lock() // want "potential deadlock: acquiring lockorder.T.mc while holding lockorder.T.md completes a lock cycle among undeclared classes"
+	t.mc.Unlock()
+	t.md.Unlock()
+}
+
+// documented inverts the declared order but carries the suppression.
+func documented(s *S) {
+	s.mb.Lock()
+	s.ma.Lock() //nr:lockok fixture: proven unreachable while b is held
+	s.ma.Unlock()
+	s.mb.Unlock()
+}
+
+// tryInversion inverts the order with TryLock, which is the sanctioned
+// helping idiom and exempt from inversion reporting.
+func tryInversion(s *S) {
+	s.mb.Lock()
+	if s.ma.TryLock() {
+		s.ma.Unlock()
+	}
+	s.mb.Unlock()
+}

@@ -1,0 +1,47 @@
+// Package noallocdeep holds fixtures for noalloc's interprocedural pass: an
+// allocation two calls below a //nr:noalloc root, the //nr:allocok function
+// barrier, and line suppression at the root call site. Only the roots are
+// annotated — the helpers are ordinary functions whose alloc facts the call
+// graph computes bottom-up.
+package noallocdeep
+
+//nr:noalloc
+func root(n int) int {
+	return mid(n) // want "call to noallocdeep.mid in //nr:noalloc function reaches an allocation: noallocdeep.mid -> noallocdeep.leaf \\(make allocates at"
+}
+
+func mid(n int) int { return leaf(n) }
+
+func leaf(n int) int {
+	b := make([]byte, n)
+	return len(b)
+}
+
+// rootBarrier calls a helper whose doc carries //nr:allocok: a documented
+// exception is a barrier, so nothing below it is reported.
+//
+//nr:noalloc
+func rootBarrier(n int) int {
+	return coldAlloc(n)
+}
+
+// coldAlloc allocates on purpose (cold path).
+//
+//nr:allocok
+func coldAlloc(n int) int { return leaf(n) }
+
+// rootDocumented suppresses the chain at the root's own call line.
+//
+//nr:noalloc
+func rootDocumented(n int) int {
+	return mid(n) //nr:allocok fixture: sized once at startup
+}
+
+// rootClean reaches only non-allocating helpers.
+//
+//nr:noalloc
+func rootClean(n int) int {
+	return double(n)
+}
+
+func double(n int) int { return n * 2 }

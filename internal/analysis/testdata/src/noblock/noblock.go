@@ -1,0 +1,81 @@
+// Package noblock holds fixtures for the noblock analyzer: blocking
+// operations reached from a //nr:spin context directly and through helpers,
+// the select-with-default allowance, and both //nr:blockok forms (function
+// barrier and site suppression).
+package noblock
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// spinRecv blocks directly inside the spin region.
+//
+//nr:spin
+func spinRecv(t *T) {
+	<-t.ch // want "channel receive in a no-block context \\(annotated //nr:spin\\)"
+}
+
+// spinDeep reaches the blocking operations through a helper: the diagnostics
+// land at the blocking sites, with the witness chain naming this root.
+//
+//nr:spin
+func spinDeep(t *T) {
+	helper(t)
+}
+
+func helper(t *T) {
+	t.mu.Lock() // want "acquiring blocking lock class noblock.T.mu \\(sync mutex\\) in a no-block context \\(annotated //nr:spin; reachable via noblock.spinDeep -> noblock.helper\\)"
+	t.mu.Unlock()
+	t.ch <- 1 // want "channel send in a no-block context"
+}
+
+// spinSelect: a select with a default clause polls and is allowed; one
+// without a default parks.
+//
+//nr:spin
+func spinSelect(t *T) {
+	select {
+	case v := <-t.ch:
+		_ = v
+	default:
+	}
+	select { // want "select without a default clause in a no-block context"
+	case v := <-t.ch:
+		_ = v
+	}
+}
+
+// spinHelping calls a helper that is a documented exception: //nr:blockok on
+// the function is a barrier — the spin context does not flow inside.
+//
+//nr:spin
+func spinHelping(t *T) {
+	coldPath(t)
+}
+
+// coldPath runs only after the protocol has already failed; blocking here is
+// deliberate.
+//
+//nr:blockok
+func coldPath(t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	<-t.ch
+}
+
+// spinDocumentedSite suppresses one site with a line directive.
+//
+//nr:spin
+func spinDocumentedSite(t *T) {
+	t.ch <- 2 //nr:blockok fixture: buffered handoff, never blocks
+}
+
+// notSpin is an unannotated function: the same operations are fine.
+func notSpin(t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	<-t.ch
+}

@@ -1,0 +1,45 @@
+// Package noiodeep holds fixtures for noio's interprocedural pass: file I/O
+// two calls below a //nr:hotpath-noio root, the //nr:iook function barrier,
+// and line suppression at the root call site.
+package noiodeep
+
+import "os"
+
+//nr:hotpath-noio
+func root(path string) error {
+	return mid(path) // want "call to noiodeep.mid in //nr:hotpath-noio function reaches file I/O: noiodeep.mid -> noiodeep.leaf \\(call to os.ReadFile performs file I/O at"
+}
+
+func mid(path string) error { return leaf(path) }
+
+func leaf(path string) error {
+	_, err := os.ReadFile(path)
+	return err
+}
+
+// rootBarrier calls a helper whose doc carries //nr:iook: a documented
+// exception is a barrier, so nothing below it is reported.
+//
+//nr:hotpath-noio
+func rootBarrier(path string) error {
+	return coldDump(path)
+}
+
+// coldDump does I/O on purpose (failure forensics).
+//
+//nr:iook
+func coldDump(path string) error { return leaf(path) }
+
+// rootDocumented suppresses the chain at the root's own call line.
+//
+//nr:hotpath-noio
+func rootDocumented(path string) error {
+	return mid(path) //nr:iook fixture: test-only configuration
+}
+
+// rootClean reaches only I/O-free helpers.
+//
+//nr:hotpath-noio
+func rootClean(n int) int { return plain(n) }
+
+func plain(n int) int { return n + 1 }

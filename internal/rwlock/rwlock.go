@@ -206,11 +206,17 @@ type Centralized struct {
 // NewCentralized returns a centralized readers-writer lock.
 func NewCentralized() *Centralized { return &Centralized{} }
 
-// RLock acquires read mode; the slot is ignored.
+// RLock acquires read mode; the slot is ignored. Centralized exists to
+// measure exactly this blocking behavior against the distributed lock
+// (Fig. 13), so the no-block contract is waived for the whole adapter.
+//
+//nr:blockok
 func (l *Centralized) RLock(int) { l.mu.RLock() }
 
 // RLockObserved acquires read mode; sync.RWMutex gives no wait visibility,
 // so the reported spin count is always 0.
+//
+//nr:blockok ablation baseline (see RLock)
 func (l *Centralized) RLockObserved(slot int) int {
 	l.mu.RLock()
 	return 0
@@ -220,6 +226,8 @@ func (l *Centralized) RLockObserved(slot int) int {
 func (l *Centralized) RUnlock(int) { l.mu.RUnlock() }
 
 // Lock acquires write mode.
+//
+//nr:blockok ablation baseline (see RLock)
 func (l *Centralized) Lock() { l.mu.Lock() }
 
 // TryLock attempts write mode without blocking.

@@ -510,6 +510,15 @@ func (r *Recorder) Reset() {
 // Config.DumpMinInterval and a no-op when neither DumpDir nor OnDump is
 // configured, so hot failure paths can call it unconditionally. File dumps
 // are Chrome trace JSON, directly loadable in Perfetto.
+//
+// AutoDump is the one sanctioned escape from the hot-path contracts: it
+// runs only after the protocol has already failed (the op is poisoned or
+// the node is stalled), where forensics beat latency. Blocking, allocating,
+// and file I/O are all deliberate here, hence the blanket suppressions.
+//
+//nr:blockok
+//nr:allocok
+//nr:iook
 func (r *Recorder) AutoDump(reason string) {
 	if r == nil || (r.cfg.DumpDir == "" && r.cfg.OnDump == nil) {
 		return

@@ -42,8 +42,8 @@ import (
 // constructor you pass to New, Execute applies an operation, IsReadOnly
 // classifies it.
 type Sequential[O, R any] interface {
-	Execute(op O) R
-	IsReadOnly(op O) bool
+	Execute(op O) R       //nr:opaque black-box boundary (user structure)
+	IsReadOnly(op O) bool //nr:opaque
 }
 
 // Config tunes an instance as a flat struct. The zero value is the paper's
@@ -469,7 +469,7 @@ func (i *Instance[O, R]) Close() {
 // read path and only falls back to the shared log when a real update is
 // needed. TryReadOnly must not modify the structure.
 type FakeUpdater[O, R any] interface {
-	TryReadOnly(op O) (resp R, done bool)
+	TryReadOnly(op O) (resp R, done bool) //nr:opaque black-box boundary
 }
 
 // Inspect quiesces node's replica and runs fn on its sequential structure
