@@ -13,7 +13,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_PR8.json
 
 # The packages where a data race is a protocol bug, not just a test bug.
-RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs ./internal/obs/tsdb
+RACE_PKGS = ./internal/core ./internal/log ./internal/rwlock ./internal/trace ./internal/obs ./internal/obs/tsdb ./internal/obs/prom ./cmd/nrtop
 
 .PHONY: tier1 tier1-race tier2 chaos chaos-recover check test build vet race bench lint
 
@@ -26,8 +26,11 @@ tier1: ## build + vet + lint + unit tests (the acceptance gate)
 tier1-race: ## race detector on the protocol-critical packages
 	$(GO) test -race $(RACE_PKGS)
 
-lint: ## nrlint: NR memory-layout and hot-path invariants (DESIGN.md §10)
-	$(GO) run ./cmd/nrlint ./...
+lint: ## nrlint: NR layout, hot-path, and concurrency-contract invariants (DESIGN.md §10)
+	$(GO) run ./cmd/nrlint -v ./...
+
+lint-sarif: ## nrlint with machine-readable output for code scanning
+	$(GO) run ./cmd/nrlint -json -sarif nrlint.sarif ./... > nrlint.json
 
 check: tier1 tier1-race ## the default pre-commit gate: tier1 + race tier
 
