@@ -1,0 +1,142 @@
+// The -logs sweep: measure one multi-log instance (nr.WithLogs) at several
+// log counts against the same machine and workload. Where the -shards sweep
+// splits the keyspace across independent instances — losing cross-shard
+// linearizability — the multi-log sweep keeps ONE linearizable instance and
+// splits only the log: m conflict classes, m independent tails and combiner
+// sets, cross-class operations still possible via the ticket barrier. The
+// paper's §5.1 bottleneck (every update through one tail CAS, replayed
+// behind every other update) then divides by the number of contended
+// classes, which is what the update-heavy arm of this sweep shows.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	nr "github.com/asplos17/nr"
+	"github.com/asplos17/nr/internal/ds"
+)
+
+// logPoint is one log count's measurement in the sweep.
+type logPoint struct {
+	Logs           int     `json:"logs"`
+	TotalOps       uint64  `json:"total_ops"`
+	CrossOps       uint64  `json:"cross_ops"`
+	ThroughputOpsS float64 `json:"throughput_ops_per_sec"`
+}
+
+// logSweepReport is BENCH_PR10.json's addition over the BENCH_PR8 schema:
+// the multi-log sweep, update-heavy for the same reason the shard sweep is
+// (reads never append, so the log is an update-side bottleneck).
+type logSweepReport struct {
+	Benchmark string     `json:"benchmark"`
+	ReadPct   int        `json:"read_pct"`
+	Rounds    int        `json:"rounds"`
+	Points    []logPoint `json:"points"`
+	// Speedup4x is 4-log / 1-log throughput (0 when either point is missing
+	// from the sweep list).
+	Speedup4x float64 `json:"speedup_4x"`
+}
+
+// parseLogList parses the -logs flag ("1,2,4") into log counts.
+func parseLogList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad log count %q in -logs", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// measureMultiLog runs the partitioned dictionary workload against one
+// instance configured with m logs. The structure is ds.PartitionedDict(m) —
+// one skip list per conflict class, class = key mod m — so the mapper
+// contract holds by construction and the m = 1 arm is the classic
+// single-log instance (WithLogs(1, ...) takes exactly the pre-multi-log
+// paths). Cross-class DictLen operations are deliberately absent from the
+// hot loop: they serialize every class through the ticket barrier, and the
+// sweep's question is how far the commuting common case scales; the barrier
+// cost has its own tests and the cross_ops field stays in the point so a
+// future mixed arm slots in.
+func measureMultiLog(cfg realConfig, m int) (logPoint, error) {
+	inst, err := nr.New(
+		func() nr.Sequential[ds.DictOp, ds.DictResult] { return ds.NewPartitionedDict(m, 1) },
+		cfg.topoOption(),
+		nr.WithLogs[ds.DictOp](m, nr.LogMapperFunc[ds.DictOp](ds.DictClass(m))),
+	)
+	if err != nil {
+		return logPoint{}, err
+	}
+	defer inst.Close()
+
+	const keyspace = 1 << 16
+	total, elapsed, err := runWorkers[ds.DictOp, ds.DictResult](inst, cfg, func(r uint64) ds.DictOp {
+		op := ds.DictOp{Kind: ds.DictInsert, Key: int64(r % keyspace), Value: r}
+		if (r>>32)%100 < uint64(cfg.ReadPct) {
+			op.Kind = ds.DictLookup
+		}
+		return op
+	})
+	if err != nil {
+		return logPoint{}, err
+	}
+
+	return logPoint{
+		Logs:           m,
+		TotalOps:       total,
+		CrossOps:       inst.Metrics().Stats.CrossOps,
+		ThroughputOpsS: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// logSweepRounds is how many times each log count is measured; a point
+// reports its median round. The ratio between two points is the headline
+// number (speedup_4x), so one round hit by ambient noise — GC from the
+// previous arm's discarded structures, a busy CI neighbor — must not land
+// in the record. Same reasoning as the persistence comparison's rounds.
+const logSweepRounds = 3
+
+// runLogSweep measures every log count in the list (median of
+// logSweepRounds rounds each) and reports the 4-vs-1 speedup when both are
+// present. The mix is pinned update-heavy like the shard sweep's, so the
+// two sweeps' numbers answer the same question for the two scaling
+// mechanisms.
+func runLogSweep(cfg realConfig, counts []int) (*logSweepReport, error) {
+	cfg.ReadPct = shardSweepReadPct
+	rep := &logSweepReport{Benchmark: "nr-partitioned-dict-mixed", ReadPct: cfg.ReadPct, Rounds: logSweepRounds}
+	byCount := map[int]float64{}
+	fmt.Printf("=== multi-log sweep (update-heavy: read%%=%d, median of %d rounds) ===\n",
+		cfg.ReadPct, logSweepRounds)
+	for _, m := range counts {
+		rounds := make([]logPoint, 0, logSweepRounds)
+		for i := 0; i < logSweepRounds; i++ {
+			pt, err := measureMultiLog(cfg, m)
+			if err != nil {
+				return nil, fmt.Errorf("logs=%d: %w", m, err)
+			}
+			rounds = append(rounds, pt)
+		}
+		sort.Slice(rounds, func(a, b int) bool {
+			return rounds[a].ThroughputOpsS < rounds[b].ThroughputOpsS
+		})
+		pt := rounds[len(rounds)/2]
+		rep.Points = append(rep.Points, pt)
+		byCount[pt.Logs] = pt.ThroughputOpsS
+		fmt.Printf("logs=%d  %.2f Mops/s (%d ops)\n", pt.Logs, pt.ThroughputOpsS/1e6, pt.TotalOps)
+	}
+	if one, ok := byCount[1]; ok && one > 0 {
+		if four, ok := byCount[4]; ok {
+			rep.Speedup4x = four / one
+			fmt.Printf("4-log speedup over 1-log: %.2fx\n", rep.Speedup4x)
+		}
+	}
+	return rep, nil
+}

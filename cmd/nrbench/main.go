@@ -42,6 +42,7 @@ func main() {
 		threads     = flag.Int("threads", 0, "with -real: worker goroutines (default GOMAXPROCS)")
 		readPct     = flag.Int("readpct", 90, "with -real: percentage of read operations")
 		shards      = flag.String("shards", "", "with -tracecmp: also sweep nr.NewSharded at these shard counts (e.g. 1,2,4,8)")
+		logsFlag    = flag.String("logs", "", "with -tracecmp: also sweep nr.WithLogs at these log counts (e.g. 1,2,4)")
 		persist     = flag.Bool("persistcmp", false, "benchmark the durability cost: persistence off vs fsync-never vs group-fsync on an all-update workload")
 		batchcmp    = flag.Bool("batchcmp", false, "benchmark the batch-policy ladder: none vs fixed-linger vs adaptive vs parallel-combining on an all-update workload")
 		assertBatch = flag.Int("assertbatch", 0, "with -batchcmp: fail unless the adaptive arm's combiner_batch_p99 is at least this")
@@ -70,12 +71,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
 			os.Exit(2)
 		}
+		logCounts, err := parseLogList(*logsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrbench: %v\n", err)
+			os.Exit(2)
+		}
 		cfg := realConfig{
 			Duration:       *duration,
 			Threads:        *threads,
 			ReadPct:        *readPct,
 			JSONPath:       *jsonPath,
 			Shards:         shardCounts,
+			Logs:           logCounts,
 			PersistCmp:     *persist,
 			BatchCmp:       *batchcmp,
 			AssertBatchP99: *assertBatch,

@@ -24,6 +24,9 @@ type realConfig struct {
 	// Shards, when non-empty, appends a sharding sweep (shard.go) to the
 	// -tracecmp run: one measurement per listed shard count.
 	Shards []int
+	// Logs, when non-empty, appends a multi-log sweep (logs.go) to the
+	// -tracecmp run: one measurement per listed log count.
+	Logs []int
 	// PersistCmp appends the durability-cost comparison (persist.go) to the
 	// -tracecmp run.
 	PersistCmp bool
@@ -272,14 +275,16 @@ type flightRecorderReport struct {
 	EventsInSnapshot  int     `json:"events_in_snapshot"`
 }
 
-// tracedResult is the BENCH_PR3/PR5/PR6/PR7.json schema: BENCH_PR2's fields
-// (from the recorder-off run, so the series stays comparable across PRs),
-// the flight-recorder overhead block, and — when requested — the sharding
-// sweep, the durability-cost ladder, and the batch-policy ladder.
+// tracedResult is the BENCH_PR3/PR5/PR6/PR7/PR10.json schema: BENCH_PR2's
+// fields (from the recorder-off run, so the series stays comparable across
+// PRs), the flight-recorder overhead block, and — when requested — the
+// sharding sweep, the multi-log sweep, the durability-cost ladder, and the
+// batch-policy ladder.
 type tracedResult struct {
 	realResult
 	FlightRecorder flightRecorderReport `json:"flight_recorder"`
 	ShardSweep     *shardSweepReport    `json:"shard_sweep,omitempty"`
+	LogSweep       *logSweepReport      `json:"log_sweep,omitempty"`
 	Persistence    *persistReport       `json:"persistence,omitempty"`
 	BatchLadder    *batchLadderReport   `json:"batch_ladder,omitempty"`
 	Telemetry      *obsReport           `json:"telemetry,omitempty"`
@@ -334,6 +339,13 @@ func runTraceCompare(cfg realConfig) error {
 			return err
 		}
 		res.ShardSweep = sweep
+	}
+	if len(cfg.Logs) > 0 {
+		sweep, err := runLogSweep(cfg, cfg.Logs)
+		if err != nil {
+			return err
+		}
+		res.LogSweep = sweep
 	}
 	if cfg.PersistCmp {
 		rep, err := runPersistCompare(cfg)

@@ -55,6 +55,27 @@ func parseSLOSpec(spec string) (p99, p999 time.Duration, err error) {
 	return p99, p999, nil
 }
 
+// validateDurability gates the -appendonly flag combinations at startup:
+// durability is one WAL whose recovery generation covers ONE instance's
+// log. A sharded deployment would need one WAL per shard plus a
+// cross-shard recovery barrier — a generation record tying the shards'
+// recovery cut points together so a crash between two shards' fsyncs
+// cannot resurrect a keyspace no linearization ever produced. The recovery
+// format does not record one yet (ROADMAP item 5); multi-log instances are
+// refused one layer down (nr.WithLogs with persistence) for the same
+// reason.
+func validateDurability(method string, shards int) error {
+	if method != miniredis.MethodNR {
+		return fmt.Errorf("nrredis: -appendonly requires -method nr (got %q)", method)
+	}
+	if shards > 1 {
+		return fmt.Errorf("nrredis: -appendonly supports a single shard (got -shards %d): "+
+			"consistent recovery across %d WALs needs a cross-shard barrier the recovery format does not record yet (ROADMAP item 5)",
+			shards, shards)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
@@ -139,11 +160,8 @@ func main() {
 	var err error
 	switch {
 	case *appendOnly:
-		if *method != miniredis.MethodNR {
-			log.Fatalf("nrredis: -appendonly requires -method nr (got %q)", *method)
-		}
-		if *shards > 1 {
-			log.Fatalf("nrredis: -appendonly supports a single shard (got -shards %d)", *shards)
+		if err := validateDurability(*method, *shards); err != nil {
+			log.Fatal(err)
 		}
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("nrredis: creating -dir: %v", err)

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asplos17/nr/internal/miniredis"
+)
+
+// TestValidateDurability pins the -appendonly startup guard: durable mode
+// is NR-only and single-shard until the recovery format grows a
+// cross-shard barrier (ROADMAP item 5). The error text is part of the
+// operator surface — it names the missing mechanism, not just the flag.
+func TestValidateDurability(t *testing.T) {
+	cases := []struct {
+		name    string
+		method  string
+		shards  int
+		wantErr string // empty = accept
+	}{
+		{"nr single shard", miniredis.MethodNR, 1, ""},
+		{"wrong method", "lock", 1, "-appendonly requires -method nr"},
+		{"sharded", miniredis.MethodNR, 4, "cross-shard barrier"},
+		{"sharded names count", miniredis.MethodNR, 8, "-shards 8"},
+		{"wrong method beats shards", "lock", 4, "-appendonly requires -method nr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateDurability(tc.method, tc.shards)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateDurability(%q, %d) = %v, want nil", tc.method, tc.shards, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateDurability(%q, %d) = %v, want error containing %q", tc.method, tc.shards, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -27,6 +27,11 @@ type Schedule struct {
 	// LogEntries sizes the shared log; small values create log-full
 	// pressure (default 64).
 	LogEntries int
+	// Logs > 1 runs the instance multi-log: per-key ops class by
+	// Key % Logs, Sum spans every class (core.CrossLog). The run
+	// replicates ParDS — multi-log may apply different classes' batches to
+	// one replica concurrently, and DS's shared map would race.
+	Logs int
 	// PanicEveryN injects a deterministic panic op every N ops (0 = off).
 	PanicEveryN int
 	// StallEveryN injects a stalling op every N ops (0 = off).
@@ -110,6 +115,12 @@ type Report struct {
 	Schedule     Schedule
 	Outcomes     []Outcome
 	Fingerprints []uint64 // one per replica, after Quiesce
+	// ClassFingerprints, on multi-log schedules, digests each replica
+	// per conflict class: ClassFingerprints[n][c] covers replica n's keys
+	// of class c. Check verifies each class column converges on its own —
+	// a finer diagnosis than the whole-replica fingerprint when one log's
+	// replay path misbehaves.
+	ClassFingerprints [][]uint64
 	Stats        core.Stats
 	Health       core.Health
 	Elapsed      time.Duration
@@ -158,6 +169,8 @@ func Run(s Schedule) (*Report, error) {
 		core.Options{
 			Topology:           topology.New(s.Nodes, s.CoresPerNode, 1),
 			LogEntries:         s.LogEntries,
+			Logs:               s.Logs,
+			LogMapper:          s.logMapper(),
 			MinBatch:           s.MinBatch,
 			Batch:              s.Batch,
 			DedicatedCombiners: s.DedicatedCombiners,
@@ -180,13 +193,29 @@ func Run(s Schedule) (*Report, error) {
 }
 
 // newDS picks the replicated structure for the schedule: the plain
-// accumulator, or the commuting one when parallel combining is under test
-// (DS's add responses are order-dependent, so it must not declare them).
+// accumulator, or the commuting one when parallel combining or multi-log
+// is under test (DS's add responses are order-dependent and its map is not
+// safe for the concurrent application either mode allows).
 func (s *Schedule) newDS() func() core.Sequential[Op, Result] {
-	if s.Batch.Parallel {
+	if s.Batch.Parallel || s.Logs > 1 {
 		return func() core.Sequential[Op, Result] { return NewParDS() }
 	}
 	return func() core.Sequential[Op, Result] { return NewDS() }
+}
+
+// logMapper builds the conflict-class mapper for multi-log schedules (nil
+// when single-log): per-key kinds class by key, Sum spans every class.
+func (s *Schedule) logMapper() any {
+	if s.Logs <= 1 {
+		return nil
+	}
+	m := s.Logs
+	return func(op Op) int {
+		if op.Kind == KindSum {
+			return core.CrossLog
+		}
+		return int(op.Key) % m
+	}
 }
 
 // fingerprinter is how the harness digests a replica without knowing which
@@ -315,14 +344,23 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 		// dead worker left behind. With every orphan executed, the
 		// effect-completeness invariant can fold abandoned ops into the
 		// expected state.
+		classes := s.Logs
+		if classes < 1 {
+			classes = 1
+		}
 		for n := 0; n < inst.Replicas(); n++ {
 			h, err := inst.RegisterOnNode(n)
 			if err != nil {
 				drained = false // out of slots: this node's orphans may be pending
 				continue
 			}
-			if _, err := h.TryExecute(Op{Kind: KindAdd, Key: 0, Delta: 0}); err != nil {
-				drained = false
+			// One no-op per conflict class: a combining round only collects
+			// its own class's slots, so each class's orphans need their own
+			// round (key c maps to class c under the harness mapper).
+			for c := 0; c < classes; c++ {
+				if _, err := h.TryExecute(Op{Kind: KindAdd, Key: uint16(c), Delta: 0}); err != nil {
+					drained = false
+				}
 			}
 		}
 	}
@@ -331,6 +369,13 @@ func run(inst *core.Instance[Op, Result], s Schedule) (*Report, error) {
 	for n := 0; n < inst.Replicas(); n++ {
 		inst.InspectReplica(n, func(ds core.Sequential[Op, Result]) {
 			rep.Fingerprints = append(rep.Fingerprints, ds.(fingerprinter).Fingerprint())
+			if s.Logs > 1 {
+				row := make([]uint64, s.Logs)
+				for c := range row {
+					row[c] = ds.(*ParDS).ClassFingerprint(c, s.Logs)
+				}
+				rep.ClassFingerprints = append(rep.ClassFingerprints, row)
+			}
 		})
 	}
 	rep.Stats = inst.Stats()
@@ -406,6 +451,13 @@ func (r *Report) Check() []error {
 	for n := 1; n < len(r.Fingerprints); n++ {
 		if r.Fingerprints[n] != r.Fingerprints[0] {
 			errs = append(errs, fmt.Errorf("replica %d fingerprint %x != replica 0 fingerprint %x (divergence)", n, r.Fingerprints[n], r.Fingerprints[0]))
+		}
+	}
+	for n := 1; n < len(r.ClassFingerprints); n++ {
+		for c := range r.ClassFingerprints[n] {
+			if r.ClassFingerprints[n][c] != r.ClassFingerprints[0][c] {
+				errs = append(errs, fmt.Errorf("replica %d class %d fingerprint %x != replica 0's %x (per-class divergence)", n, c, r.ClassFingerprints[n][c], r.ClassFingerprints[0][c]))
+			}
 		}
 	}
 	if r.Health.Poisoned {

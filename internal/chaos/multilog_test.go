@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMultiLogClean is the fault-free multi-log baseline: per-key classes
+// plus cross-class Sums, whole-replica AND per-class fingerprints must
+// converge.
+func TestMultiLogClean(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 4,
+		Logs:         4,
+		OpsPerThread: 300,
+	})
+}
+
+// TestMultiLogPanicFaults lands deterministic panics inside per-class
+// combining rounds: the faulting class's submitters get PanicErrors while
+// the other classes' logs keep flowing, and every class column converges.
+func TestMultiLogPanicFaults(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 4,
+		Logs:         4,
+		OpsPerThread: 300,
+		PanicEveryN:  7,
+	})
+}
+
+// TestMultiLogStallFaults stalls combiners of whichever class the seeded
+// stream picks; the watchdog must see the stalls and unrelated classes
+// must not deadlock behind them.
+func TestMultiLogStallFaults(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 2,
+		Logs:           2,
+		OpsPerThread:   60,
+		StallEveryN:    20,
+		StallFor:       3 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+	})
+}
+
+// TestMultiLogAbandonment kills workers mid-protocol across classes —
+// including cross-class Sums posted and abandoned — then drains each
+// class's orphans and requires exact effect completeness. Extra cores
+// provide slot headroom for the restarted workers (as TestGoroutineDeath).
+func TestMultiLogAbandonment(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 12,
+		Threads:       4,
+		Logs:          4,
+		OpsPerThread:  200,
+		AbandonEveryN: 25, // 8 abandons/worker, 16 restarts over 24 spare slots
+	})
+}
+
+// TestMultiLogPressure shrinks the per-class logs so appends constantly
+// fight recycling, with panics on top — the wraparound paths of every
+// class under fault.
+func TestMultiLogPressure(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 2,
+		Logs:         2,
+		OpsPerThread: 400,
+		LogEntries:   32,
+		PanicEveryN:  13,
+	})
+}
+
+// TestMultiLogEverythingAtOnce is the multi-log kitchen sink: four classes,
+// cross Sums, panics, stalls, abandonment, and log pressure in one run.
+func TestMultiLogEverythingAtOnce(t *testing.T) {
+	runAndCheck(t, Schedule{
+		Nodes: 2, CoresPerNode: 10,
+		Threads:        6,
+		Logs:           4,
+		OpsPerThread:   150,
+		LogEntries:     64,
+		PanicEveryN:    13,
+		StallEveryN:    40,
+		StallFor:       2 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+		AbandonEveryN:  60, // slot headroom: 2 abandons/worker over 14 spares
+	})
+}
+
+// TestMultiLogDeterministic pins schedule replay under multi-log: same
+// seed, same outcomes and fingerprints.
+func TestMultiLogDeterministic(t *testing.T) {
+	s := Schedule{
+		Seed:  0xfeed,
+		Nodes: 2, CoresPerNode: 2,
+		Logs:         4,
+		OpsPerThread: 150,
+		PanicEveryN:  9,
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprints[0] != b.Fingerprints[0] {
+		t.Fatalf("same schedule, different final states: %x vs %x", a.Fingerprints[0], b.Fingerprints[0])
+	}
+	for c := range a.ClassFingerprints[0] {
+		if a.ClassFingerprints[0][c] != b.ClassFingerprints[0][c] {
+			t.Fatalf("class %d: same schedule, different states: %x vs %x",
+				c, a.ClassFingerprints[0][c], b.ClassFingerprints[0][c])
+		}
+	}
+}

@@ -67,6 +67,22 @@ func (d *ParDS) IsReadOnly(op Op) bool { return op.Kind == KindSum }
 // than the one the schedule encodes.
 func (d *ParDS) ConcurrentApply(op Op) bool { return op.Kind == KindAdd }
 
+// ClassFingerprint digests only the cells of one conflict class under the
+// multi-log harness mapper (key % logs) — the per-class convergence
+// witness of multi-log chaos runs.
+func (d *ParDS) ClassFingerprint(class, logs int) uint64 {
+	m := make(map[uint16]int64)
+	for k := range d.cells {
+		if k%logs != class {
+			continue
+		}
+		if v := d.cells[k].Load(); v != 0 {
+			m[uint16(k)] = v
+		}
+	}
+	return FingerprintMap(m)
+}
+
 // Fingerprint digests the cells with the same order-independent function
 // as DS, so Report.Check's fold comparison works unchanged.
 func (d *ParDS) Fingerprint() uint64 {

@@ -117,21 +117,22 @@ const (
 	parallelClaimWait = 250 * time.Microsecond
 )
 
-// lingerWindow returns the spin window the next round on r should hold its
-// batch open for. Caller holds r's combiner lock.
-func (i *Instance[O, R]) lingerWindow(r *replica[O, R]) time.Duration {
+// lingerWindow returns the spin window the next round on (replica, log) lg
+// should hold its batch open for. Caller holds lg's combiner lock.
+func (i *Instance[O, R]) lingerWindow(lg *replicaLog[O, R]) time.Duration {
 	if !i.batch.Adaptive {
 		return i.batch.MaxLinger
 	}
-	return time.Duration(r.lingerWindow.Load())
+	return time.Duration(lg.lingerWindow.Load())
 }
 
-// adaptAfterRound updates r's adaptive linger state after a combining round
-// that collected batch ops and left pending ops still posted. Caller holds
-// r's combiner lock.
-func (i *Instance[O, R]) adaptAfterRound(r *replica[O, R], batch, pending int) {
+// adaptAfterRound updates (replica, log) lg's adaptive linger state after a
+// combining round that collected batch ops and left pending ops still
+// posted. Caller holds lg's combiner lock. Each (replica, log) pair adapts
+// independently: conflict classes can have wildly different arrival rates.
+func (i *Instance[O, R]) adaptAfterRound(lg *replicaLog[O, R], batch, pending int) {
 	if batch > 0 {
-		r.batchDist.Record(uint64(batch))
+		lg.batchDist.Record(uint64(batch))
 	}
 	if !i.batch.Adaptive {
 		return
@@ -140,7 +141,7 @@ func (i *Instance[O, R]) adaptAfterRound(r *replica[O, R], batch, pending int) {
 	if seed <= 0 {
 		seed = time.Microsecond
 	}
-	cur := time.Duration(r.lingerWindow.Load())
+	cur := time.Duration(lg.lingerWindow.Load())
 	if batch > 1 || pending > 0 {
 		// Concurrency observed: multiplicative increase toward MaxLinger.
 		// pending > 0 is the cold-start signal — with a zero window batches
@@ -153,7 +154,7 @@ func (i *Instance[O, R]) adaptAfterRound(r *replica[O, R], batch, pending int) {
 		if w > i.batch.MaxLinger {
 			w = i.batch.MaxLinger
 		}
-		r.lingerWindow.Store(int64(w))
+		lg.lingerWindow.Store(int64(w))
 		return
 	}
 	// Lone-op round: decay. While the replica's batch history says rounds
@@ -161,31 +162,34 @@ func (i *Instance[O, R]) adaptAfterRound(r *replica[O, R], batch, pending int) {
 	// open instead of decaying to zero, so a brief arrival gap doesn't
 	// forget a configuration that was paying for itself.
 	w := cur / 2
-	if floor := i.lingerFloor(r, seed); w < floor {
+	if floor := i.lingerFloor(lg, seed); w < floor {
 		w = floor
 	}
-	r.lingerWindow.Store(int64(w))
+	lg.lingerWindow.Store(int64(w))
 }
 
 // lingerPayoffMean is the observed mean batch size above which the adaptive
 // window keeps a floor open through lone-op rounds.
 const lingerPayoffMean = 1.5
 
-func (i *Instance[O, R]) lingerFloor(r *replica[O, R], seed time.Duration) time.Duration {
-	if r.batchDist.Mean() > lingerPayoffMean {
+func (i *Instance[O, R]) lingerFloor(lg *replicaLog[O, R], seed time.Duration) time.Duration {
+	if lg.batchDist.Mean() > lingerPayoffMean {
 		return seed
 	}
 	return 0
 }
 
-// countPosted returns how many of r's slots are posted-but-uncollected.
-// Racy by design (the answer is advisory: it feeds the adaptive signal).
+// countPosted returns how many of r's slots hold posted-but-uncollected
+// class-c ops. Racy by design (the answer is advisory: it feeds the
+// adaptive signal); the class read behind the posted check is stable while
+// a slot stays posted.
 //
 //nr:noalloc
-func (i *Instance[O, R]) countPosted(r *replica[O, R]) int {
+func (i *Instance[O, R]) countPosted(r *replica[O, R], c int) int {
 	pending := 0
 	for idx := range r.slots {
-		if r.slots[idx].state.Load() == slotPosted {
+		s := &r.slots[idx]
+		if s.state.Load() == slotPosted && s.class == int32(c) {
 			pending++
 		}
 	}
@@ -219,7 +223,7 @@ func (i *Instance[O, R]) batchCommutes(batch []takenSlot[O, R]) bool {
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) parallelApply(r *replica[O, R], batch []takenSlot[O, R], start uint64, self int32, ring *trace.Ring) int {
+func (i *Instance[O, R]) parallelApply(r *replica[O, R], c int, batch []takenSlot[O, R], start uint64, self int32, ring *trace.Ring) int {
 	handed := 0
 	for _, t := range batch {
 		if t.slot != self {
@@ -229,10 +233,11 @@ func (i *Instance[O, R]) parallelApply(r *replica[O, R], batch []takenSlot[O, R]
 	if handed == 0 {
 		return 0
 	}
+	lg := &r.logs[c]
 	// Publish the outstanding count BEFORE the first handoff store: an
 	// owner that executes and decrements immediately must not drive the
 	// counter negative.
-	r.parPending.Store(int64(handed))
+	lg.parPending.Store(int64(handed))
 	for k := range batch {
 		t := &batch[k]
 		// idx is published to the owner by the slotParallel release store.
@@ -248,9 +253,9 @@ func (i *Instance[O, R]) parallelApply(r *replica[O, R], batch []takenSlot[O, R]
 		if t.slot != self {
 			continue
 		}
-		tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
+		tok := trace.TokenWithLog(c, int(r.id), int(t.slot), t.s.seq)
 		ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
-		t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
+		t.s.resp, t.s.err = i.safeExecute(r, c, t.s.op, start+uint64(k))
 		if t.s.err != nil {
 			ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
 		}
@@ -263,7 +268,7 @@ func (i *Instance[O, R]) parallelApply(r *replica[O, R], batch []takenSlot[O, R]
 	// serial path — so a dead owner cannot wedge the round.
 	deadline := time.Now().Add(parallelClaimWait)
 	reclaimed := false
-	for r.parPending.Load() > 0 {
+	for lg.parPending.Load() > 0 {
 		runtime.Gosched()
 		if reclaimed || time.Now().Before(deadline) {
 			continue
@@ -274,15 +279,15 @@ func (i *Instance[O, R]) parallelApply(r *replica[O, R], batch []takenSlot[O, R]
 			if t.slot == self || !t.s.state.CompareAndSwap(slotParallel, slotTaken) {
 				continue
 			}
-			tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
+			tok := trace.TokenWithLog(c, int(r.id), int(t.slot), t.s.seq)
 			ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
-			t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
+			t.s.resp, t.s.err = i.safeExecute(r, c, t.s.op, start+uint64(k))
 			if t.s.err != nil {
 				ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
 			}
 			t.s.state.Store(slotDone)
 			ring.Record(trace.KRespond, int(r.id), tok, start+uint64(k))
-			r.parPending.Add(-1)
+			lg.parPending.Add(-1)
 		}
 	}
 	return handed

@@ -11,6 +11,18 @@
 // (completedTail), then run against the local replica under a distributed
 // readers-writer lock (internal/rwlock).
 //
+// Multi-log NR (CNR-style commutativity partitioning): an instance may own
+// M logs instead of one (Options.Logs). A LogMapper assigns every operation
+// a conflict class in [0, M); operations in different classes must commute
+// and the structure must tolerate their concurrent application (typically
+// because each class touches a disjoint partition). Each (replica, log)
+// pair has its own local tail, combiner lock and readers-writer lock, so
+// combiners for different classes append to and replay their logs fully
+// independently, and a reader waits only on the log its class maps to. A
+// replica is current when every log's completed tail is consumed.
+// Operations spanning several classes return the CrossLog sentinel and
+// serialize through log 0 with a cross-log ticket barrier (cross.go).
+//
 // Two deliberate additions over the paper's pseudo-code, both needed for
 // correctness under Go's cooperative scheduling:
 //
@@ -65,16 +77,42 @@ type Sequential[O, R any] interface {
 	IsReadOnly(op O) bool //nr:opaque
 }
 
+// CrossLog is the LogMapper sentinel for operations that touch more than
+// one conflict class: they serialize through log 0 behind a ticket barrier
+// appended to every other log (cross.go), so every replica applies them at
+// the same point relative to each class's history.
+const CrossLog = -1
+
+// maxLogs bounds Options.Logs: the flight-recorder token reserves 6 bits
+// for the log index (trace.TokenWithLog).
+const maxLogs = 64
+
 // Options configures an NR instance.
 type Options struct {
 	// Topology describes the simulated NUMA machine. Zero value means the
 	// Intel testbed of the paper (4×14×2).
 	Topology topology.Topology
 
-	// LogEntries sets the shared log size. The paper fixes 1M entries (§7);
-	// the default here is 64K, which the paper's sizing argument (§5.6)
-	// equally satisfies for our batch sizes while staying test-friendly.
+	// LogEntries sets the shared log size — per log, when Logs > 1. The
+	// paper fixes 1M entries (§7); the default here is 64K, which the
+	// paper's sizing argument (§5.6) equally satisfies for our batch sizes
+	// while staying test-friendly.
 	LogEntries int
+
+	// Logs is the number of shared logs (conflict classes); 0 or 1 means
+	// classic single-log NR. Values above 1 require LogMapper and are
+	// incompatible with the ablation knobs below (the ablations model the
+	// paper's single-log protocol).
+	Logs int
+
+	// LogMapper, when Logs > 1, must hold a func(O) int mapping every
+	// operation to its conflict class in [0, Logs), or CrossLog for
+	// operations spanning classes. It must be a pure function of the
+	// operation; ops in different classes must commute and their Execute
+	// must tolerate concurrent application against one replica. The field
+	// is typed any because Options is not generic; core.New type-asserts
+	// it against the instance's operation type.
+	LogMapper any
 
 	// MinBatch is the batch size below which a combiner keeps the replica
 	// fresh instead of appending a small batch (§5.2). Default 1 (off).
@@ -137,9 +175,9 @@ type Options struct {
 	// respond, ...) tagged with an operation token, so individual op
 	// lifecycles can be reconstructed after the fact. This is a separate
 	// seam from Observer on purpose: observer hooks carry aggregates with
-	// no op identity, while trace events carry the (node, slot, seq) token
-	// the reconstruction joins on. A nil Trace costs one nil check per
-	// event site (Ring.Record no-ops on a nil ring).
+	// no op identity, while trace events carry the (log, node, slot, seq)
+	// token the reconstruction joins on. A nil Trace costs one nil check
+	// per event site (Ring.Record no-ops on a nil ring).
 	Trace *trace.Recorder
 }
 
@@ -149,6 +187,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.LogEntries == 0 {
 		o.LogEntries = 1 << 16
+	}
+	if o.Logs <= 0 {
+		o.Logs = 1
 	}
 	if o.MinBatch <= 0 {
 		o.MinBatch = 1
@@ -181,7 +222,9 @@ func (o *Options) fillDefaults() {
 // instance. Ordering matters: because Append happens before the entry is
 // visible, any thread that observes the entry applied (localTail past idx)
 // also observes the persister's bookkeeping for it, which is what makes a
-// concurrent checkpoint's token set complete.
+// concurrent checkpoint's token set complete. Persisters are a single-log
+// facility: AttachPersister refuses multi-log instances (per-log WALs would
+// need per-log recovery generations, ROADMAP item 5).
 type Persister[O any] interface {
 	Append(idx uint64, token uint64, op O)
 }
@@ -196,7 +239,9 @@ type Stats struct {
 	ReadOps         uint64 `json:"read_ops"`         // read-only ops executed
 	UpdateOps       uint64 `json:"update_ops"`       // update ops executed
 	ParallelOps     uint64 `json:"parallel_ops"`     // update ops handed to owners by parallel combining
+	CrossOps        uint64 `json:"cross_ops"`        // multi-class ops serialized through the cross-log barrier
 	ReaderAcquires  uint64 `json:"reader_acquires"`  // read-lock acquisitions across all replicas (rwlock per-slot counters)
+	WriterAcquires  uint64 `json:"writer_acquires"`  // write-lock acquisitions across all replica locks
 	Panics          uint64 `json:"panics"`           // user Execute panics contained (see failure.go)
 	Stalls          uint64 `json:"stalls"`           // combiner stalls flagged by the watchdog
 }
@@ -225,12 +270,16 @@ type slot[O, R any] struct {
 	// the op and published by the same release store on state; the combiner
 	// reads it to stamp its trace events with the op's token.
 	seq uint32
+	// class is the op's conflict class (log index), written with the op and
+	// published by the state release store; the class-c combiner collects
+	// only class-c slots. Always 0 on single-log instances.
+	class int32
 	// state is the protocol word; resp returns the outcome. Each must own
 	// its cache line (checked by nrlint's cachepad against real offsets).
 	//
 	//nr:cacheline
 	state atomic.Uint32
-	_     [56]byte
+	_     [52]byte
 	//nr:cacheline
 	resp R
 	err  error
@@ -241,16 +290,31 @@ type slot[O, R any] struct {
 	idx uint64
 }
 
+// entry kinds stored in the shared logs. entryOp is a normal operation;
+// entryCross (log 0 only) carries a multi-class operation plus its ticket;
+// entryBarrier (logs 1..M-1) carries only the ticket and marks the point in
+// that log's history where the cross operation with the same ticket must be
+// applied (cross.go).
+const (
+	entryOp uint8 = iota
+	entryCross
+	entryBarrier
+)
+
 // entry is what NR stores in the shared log: the operation plus response
 // routing for the DisableCombining path (slot < 0 means no delivery). seq
-// completes the op token (node, slot, seq) so a remote replayer's trace
-// events join the originating op's span; it is published by the log's
-// marker store like the rest of the entry.
+// completes the op token (log, node, slot, seq) so a remote replayer's
+// trace events join the originating op's span; it is published by the log's
+// marker store like the rest of the entry. kind and ticket implement the
+// cross-log barrier: replayers stop at non-entryOp entries and hand control
+// to the cross applier (cross.go).
 type entry[O any] struct {
-	op   O
-	node int32
-	slot int32
-	seq  uint32
+	op     O
+	node   int32
+	slot   int32
+	seq    uint32
+	kind   uint8
+	ticket uint64
 }
 
 // takenSlot records one collected combining slot during a round.
@@ -259,34 +323,39 @@ type takenSlot[O, R any] struct {
 	slot int32
 }
 
-// replica is one node's copy of the structure plus its synchronization.
+// replicaLog is one (replica, log) pair's synchronization and combining
+// state. With a single log it is exactly the per-replica state classic NR
+// keeps; with M logs each replica carries M of these, and the class-c
+// combiner, class-c readers and class-c helpers touch only index c — the
+// independence that lets commuting classes proceed in parallel on one node.
 //
-// The lock classes declared on the fields below, plus the WAL appender lock
-// (persist.WAL.mu), form the system-wide acquisition order that makes NR's
-// deadlock-freedom argument (§5.3/§5.5) machine-checkable:
+// The lock classes declared on the fields below, plus the cross-apply lock
+// (replica.crossApply) and the WAL appender lock (persist.WAL.mu), form the
+// system-wide acquisition order that makes NR's deadlock-freedom argument
+// (§5.3/§5.5) machine-checkable. Every replicaLog instance's combiner lock
+// is one class ("combiner[i] instances are one class"): no path nests two
+// combiner locks, of the same or different logs.
 //
 // A combiner holds combiner while taking replicaWriter to replay, and holds
 // both while appending to the WAL through the Persister hook; an elected
-// refreshing reader holds refresher while taking replicaWriter. Nothing
+// refreshing reader holds refresher while taking replicaWriter; the cross
+// applier holds crossApply while taking every log's replicaWriter in index
+// order, and is only ever invoked with no replicaWriter held. Nothing
 // acquires in the other direction — readers that find the combiner lock
 // busy help via TryLock instead of waiting, which is why TryLock sites are
 // exempt from inversion checking.
 //
-//nr:lockorder combiner < replicaWriter < walAppend
+//nr:lockorder combiner < crossApply < replicaWriter < walAppend
 //nr:lockorder refresher < replicaWriter
-type replica[O, R any] struct {
-	id           int32
-	ds           Sequential[O, R]
+type replicaLog[O, R any] struct {
 	localTail    *atomic.Uint64
 	combinerLock rwlock.StampedMutex //nr:lockorder combiner
 	// refresher elects a single reader to bring the replica up to date when
 	// no combiner is active, so stale readers don't convoy on the writer
 	// lock (an engineering refinement over Algorithm 1, which lets every
 	// stale reader acquire the writer lock in turn).
-	refresher  rwlock.SpinMutex //nr:lockorder refresher
-	rw         rwlock.Lock      //nr:lockorder replicaWriter
-	slots      []slot[O, R]
-	registered int // slots handed out on this node
+	refresher rwlock.SpinMutex //nr:lockorder refresher
+	rw        rwlock.Lock      //nr:lockorder replicaWriter
 	// scratch is the combiner's batch buffer, reused across rounds so a
 	// combining round never allocates. Only the combiner-lock holder
 	// touches it.
@@ -295,7 +364,7 @@ type replica[O, R any] struct {
 	// Batching-policy state (batch.go). lingerWindow is the adaptive spin
 	// window in nanoseconds — only the combiner-lock holder writes it, but
 	// Metrics() reads it concurrently as a gauge, hence atomic; batchDist
-	// is the replica's observed batch-size distribution (lock-free), the
+	// is this log's observed batch-size distribution (lock-free), the
 	// adaptive policy's slow signal; parPending counts outstanding
 	// parallel-combining handoffs within the current round.
 	lingerWindow atomic.Int64
@@ -307,10 +376,32 @@ type replica[O, R any] struct {
 	lastReaderAcq uint64
 }
 
+// replica is one node's copy of the structure plus its synchronization:
+// the shared sequential structure, the node's combining slots, and one
+// replicaLog of per-log state per shared log.
+type replica[O, R any] struct {
+	id   int32
+	ds   Sequential[O, R]
+	logs []replicaLog[O, R]
+	// crossApply serializes cross-log operation application on this replica
+	// (cross.go): the holder applies the next ticket under every log's
+	// write lock. crossDone is the last ticket applied here. Stamped so the
+	// stall watchdog can see an op stalling INSIDE the cross applier — the
+	// one multi-log replay path no per-class combiner lock covers (readers
+	// drive it too).
+	crossApply rwlock.StampedMutex //nr:lockorder crossApply
+	crossDone  atomic.Uint64
+	slots      []slot[O, R]
+	registered int // slots handed out on this node
+}
+
 // Instance is a concurrent, NUMA-aware version of a sequential structure.
 type Instance[O, R any] struct {
-	opts     Options
-	log      *log.Log[entry[O]]
+	opts Options
+	logs []*log.Log[entry[O]]
+	// mapper maps an op to its conflict class; nil on single-log instances
+	// (class 0 for everything).
+	mapper   func(O) int
 	replicas []*replica[O, R]
 	// batch mirrors opts.Batch (normalized); batchOn gates the policy
 	// engine's per-round work, batchTarget is the batch size a lingering
@@ -326,12 +417,19 @@ type Instance[O, R any] struct {
 	rec *trace.Recorder
 	// persist, when non-nil, receives every update entry at append time
 	// (durability hook; see AttachPersister). Nil costs one branch per
-	// combining round / uncombined append.
+	// combining round / uncombined append. Single-log only.
 	persist Persister[O]
 	// profLabels holds per-node precomputed pprof label sets ([0] read,
 	// [1] update) for sampled op labeling; nil unless ProfileSampleRate > 0.
 	profLabels [][2]pprof.LabelSet
 	profRate   uint32
+
+	// Cross-log ticket state (cross.go). crossMu serializes cross-op
+	// reservation and fill across the whole instance; crossSeq and crossIdx
+	// are guarded by it.
+	crossMu  sync.Mutex
+	crossSeq uint64
+	crossIdx []uint64
 
 	mu    sync.Mutex // guards registration
 	place *topology.Placement
@@ -347,6 +445,7 @@ type Instance[O, R any] struct {
 	readOps         atomic.Uint64
 	updateOps       atomic.Uint64
 	parallelOps     atomic.Uint64
+	crossOps        atomic.Uint64
 	panics          atomic.Uint64
 	stalls          atomic.Uint64
 
@@ -372,23 +471,48 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 	if err := opts.Topology.Validate(); err != nil {
 		return nil, err
 	}
+	m := opts.Logs
+	if m > maxLogs {
+		return nil, fmt.Errorf("core: Logs %d exceeds the maximum of %d (token log-index width)", m, maxLogs)
+	}
+	var mapper func(O) int
+	if m > 1 {
+		switch {
+		case opts.DisableCombining, opts.ReadWaitLogTail,
+			opts.CombinedReplicaLock, opts.SerialReplicaUpdate:
+			return nil, errors.New("core: Logs > 1 is incompatible with the single-log ablation knobs (DisableCombining, ReadWaitLogTail, CombinedReplicaLock, SerialReplicaUpdate)")
+		case opts.LogMapper == nil:
+			return nil, errors.New("core: Logs > 1 requires a LogMapper assigning each op a conflict class")
+		}
+		fn, ok := opts.LogMapper.(func(O) int)
+		if !ok {
+			return nil, fmt.Errorf("core: LogMapper has type %T, want func(O) int for this instance's operation type", opts.LogMapper)
+		}
+		mapper = fn
+	}
 	maxBatch := opts.Topology.ThreadsPerNode()
-	l, err := log.New[entry[O]](opts.LogEntries, maxBatch)
-	if err != nil {
-		return nil, err
+	logs := make([]*log.Log[entry[O]], m)
+	for j := range logs {
+		l, err := log.New[entry[O]](opts.LogEntries, maxBatch)
+		if err != nil {
+			return nil, err
+		}
+		logs[j] = l
 	}
 	inst := &Instance[O, R]{
 		opts:     opts,
-		log:      l,
+		logs:     logs,
+		mapper:   mapper,
 		observer: opts.Observer,
 		rec:      opts.Trace,
 		place:    topology.NewFillPlacement(opts.Topology),
 		batch:    opts.Batch,
 		batchOn:  opts.Batch.MaxLinger > 0 || opts.Batch.Parallel,
+		crossIdx: make([]uint64, m),
 	}
 	inst.batchTarget = inst.batch.MaxBatch
-	if m := inst.batch.MinBatch; m > 0 && m < inst.batchTarget {
-		inst.batchTarget = m
+	if mb := inst.batch.MinBatch; mb > 0 && mb < inst.batchTarget {
+		inst.batchTarget = mb
 	}
 	if rate := opts.Trace.ProfileSampleRate(); rate > 0 {
 		inst.profRate = uint32(rate)
@@ -401,20 +525,24 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 	}
 	for n := 0; n < opts.Topology.Nodes(); n++ {
 		r := &replica[O, R]{
-			id:        int32(n),
-			ds:        create(),
-			localTail: l.RegisterReplica(),
-			slots:     make([]slot[O, R], maxBatch),
-			scratch:   make([]takenSlot[O, R], 0, maxBatch),
+			id:    int32(n),
+			ds:    create(),
+			logs:  make([]replicaLog[O, R], m),
+			slots: make([]slot[O, R], maxBatch),
 		}
-		if opts.CentralizedReaderLock {
-			r.rw = rwlock.NewCentralized()
-		} else {
-			r.rw = rwlock.NewDistributed(maxBatch)
-		}
-		if o := opts.Observer; o != nil {
-			node := n
-			r.rw.SetWriterWaitHook(func(spins int) { o.WriterWait(node, spins) })
+		for j := range r.logs {
+			lg := &r.logs[j]
+			lg.localTail = logs[j].RegisterReplica()
+			lg.scratch = make([]takenSlot[O, R], 0, maxBatch)
+			if opts.CentralizedReaderLock {
+				lg.rw = rwlock.NewCentralized()
+			} else {
+				lg.rw = rwlock.NewDistributed(maxBatch)
+			}
+			if o := opts.Observer; o != nil {
+				node := n
+				lg.rw.SetWriterWaitHook(func(spins int) { o.WriterWait(node, spins) })
+			}
 		}
 		inst.replicas = append(inst.replicas, r)
 	}
@@ -441,9 +569,33 @@ func New[O, R any](create func() Sequential[O, R], opts Options) (*Instance[O, R
 	return inst, nil
 }
 
-// dedicatedCombiner keeps one replica fresh in the background (§4, §6). It
-// takes the node's combiner lock so it can never race an active combiner's
-// batch, then replays completed entries like any combining round would.
+// opClass maps op to its conflict class: 0 on single-log instances, the
+// mapper's class otherwise. Out-of-range classes (a mapper contract slip)
+// fold into range rather than corrupt the slot protocol; CrossLog passes
+// through as the sentinel.
+//
+//nr:noalloc
+func (i *Instance[O, R]) opClass(op O) int {
+	if i.mapper == nil {
+		return 0
+	}
+	c := i.mapper(op)
+	if c == CrossLog {
+		if len(i.logs) == 1 {
+			return 0 // one log: cross-class is just the only class
+		}
+		return CrossLog
+	}
+	if m := len(i.logs); c < 0 || c >= m {
+		c = ((c % m) + m) % m
+	}
+	return c
+}
+
+// dedicatedCombiner keeps one replica fresh in the background (§4, §6),
+// cycling over every log. It takes the node's per-log combiner lock so it
+// can never race an active combiner's batch, then replays completed entries
+// like any combining round would.
 func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
 	defer i.stopWG.Done()
 	ring := i.rec.AcquireRing()
@@ -454,13 +606,16 @@ func (i *Instance[O, R]) dedicatedCombiner(r *replica[O, R]) {
 		default:
 		}
 		worked := false
-		if to := i.log.Completed(); to > r.localTail.Load() {
-			if r.combinerLock.TryLock() {
-				if to := i.log.Completed(); to > r.localTail.Load() {
-					i.refreshOwn(r, to, true, ring)
-					worked = true
+		for c := range i.logs {
+			lg := &r.logs[c]
+			if to := i.logs[c].Completed(); to > lg.localTail.Load() {
+				if lg.combinerLock.TryLock() {
+					if to := i.logs[c].Completed(); to > lg.localTail.Load() {
+						i.refreshOwn(r, c, to, true, ring)
+						worked = true
+					}
+					lg.combinerLock.Unlock()
 				}
-				r.combinerLock.Unlock()
 			}
 		}
 		if !worked {
@@ -489,10 +644,17 @@ type Handle[O, R any] struct {
 	thread int
 	// ring is this handle's flight-recorder ring (nil when tracing is off);
 	// seq counts this handle's operations and completes the op token
-	// Token(node, slot, seq). Both are single-goroutine state, like the
-	// handle itself.
+	// TokenWithLog(cls, node, slot, seq). Both are single-goroutine state,
+	// like the handle itself.
 	ring *trace.Ring
 	seq  uint32
+	// cls is the current op's conflict class (always 0 on single-log
+	// instances; cross ops tokenize on log 0). Single-goroutine, like seq.
+	cls int
+	// crossTails is the per-class completed-tail snapshot a cross-class
+	// read waits out, preallocated so the cross read path does not allocate
+	// (nil on single-log instances).
+	crossTails []uint64
 	// tsHint is the recorder-clock timestamp of the current op's start when
 	// TryExecute already read the clock for the metrics observer, else 0.
 	// Trace sites at the top of the op (tail-read, slot-publish) reuse it
@@ -505,9 +667,11 @@ type Handle[O, R any] struct {
 }
 
 // token returns the handle's current op token.
-func (h *Handle[O, R]) token() uint64 { return trace.Token(h.node, h.slot, h.seq) }
+func (h *Handle[O, R]) token() uint64 {
+	return trace.TokenWithLog(h.cls, h.node, h.slot, h.seq)
+}
 
-// LastToken returns the op token (node|slot|seq) of the most recent
+// LastToken returns the op token (log|node|slot|seq) of the most recent
 // operation submitted through this handle — the identity under which the
 // flight recorder traces it and the persistence layer records it. Valid
 // after TryExecute/Execute returns or PostAndAbandon is called; zero
@@ -516,11 +680,16 @@ func (h *Handle[O, R]) LastToken() uint64 { return h.token() }
 
 // AttachPersister installs p as the instance's durability hook. It must be
 // called before any operation executes — the hook cannot retroactively
-// cover entries already appended — and fails otherwise.
+// cover entries already appended — and fails otherwise. Multi-log instances
+// are refused: per-log WALs would need per-log recovery generations and a
+// cross-log recovery barrier (ROADMAP item 5).
 func (i *Instance[O, R]) AttachPersister(p Persister[O]) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if i.log.Tail() != 0 {
+	if len(i.logs) > 1 {
+		return errors.New("core: AttachPersister on a multi-log instance (persistence requires Logs == 1; per-log WALs lack cross-log recovery generations)")
+	}
+	if i.logs[0].Tail() != 0 {
 		return errors.New("core: AttachPersister after operations have executed")
 	}
 	i.persist = p
@@ -544,6 +713,15 @@ func (i *Instance[O, R]) registerableLocked() error {
 	return nil
 }
 
+// newHandle builds a handle bound to (node, slot); callers hold i.mu.
+func (i *Instance[O, R]) newHandle(node, slot, thread int) *Handle[O, R] {
+	h := &Handle[O, R]{inst: i, node: node, slot: slot, thread: thread, ring: i.rec.AcquireRing()}
+	if len(i.logs) > 1 {
+		h.crossTails = make([]uint64, len(i.logs))
+	}
+	return h
+}
+
 // Register binds the caller to the next thread position under the paper's
 // fill placement (§8), skipping positions on nodes already filled by
 // explicit RegisterOnNode calls. It fails once every hardware thread is
@@ -564,7 +742,7 @@ func (i *Instance[O, R]) Register() (*Handle[O, R], error) {
 		}
 		s := r.registered
 		r.registered++
-		return &Handle[O, R]{inst: i, node: node, slot: s, thread: thread, ring: i.rec.AcquireRing()}, nil
+		return i.newHandle(node, s, thread), nil
 	}
 	// Report what actually happened, not just the walked position count:
 	// positions skipped over explicitly filled nodes are not handles.
@@ -594,7 +772,7 @@ func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
 	}
 	s := r.registered
 	r.registered++
-	return &Handle[O, R]{inst: i, node: node, slot: s, thread: -1, ring: i.rec.AcquireRing()}, nil
+	return i.newHandle(node, s, -1), nil
 }
 
 // Node returns the NUMA node this handle is bound to.
@@ -710,38 +888,54 @@ func (i *Instance[O, R]) executeLabeled(h *Handle[O, R], op O) (R, error) {
 	return resp, err
 }
 
-// dispatch routes op to the read or update path and reports which class
-// served it: ops a FakeUpdater resolved without logging count as reads,
-// matching the Stats.ReadOps accounting. Each op is counted exactly once,
-// in the class that actually served it — a fake update that fails its
-// read-path attempt counts only as an update, so ReadOps+UpdateOps always
-// equals the number of ops executed and agrees with the per-class latency
-// histograms the metrics observer keeps.
+// dispatch routes op to the read or update path of its conflict class and
+// reports which class served it: ops a FakeUpdater resolved without logging
+// count as reads, matching the Stats.ReadOps accounting. Each op is counted
+// exactly once, in the class that actually served it — a fake update that
+// fails its read-path attempt counts only as an update, so
+// ReadOps+UpdateOps always equals the number of ops executed and agrees
+// with the per-class latency histograms the metrics observer keeps.
 func (i *Instance[O, R]) dispatch(h *Handle[O, R], op O) (R, obs.OpClass, error) {
 	r := i.replicas[h.node]
+	c := i.opClass(op)
+	if c == CrossLog {
+		h.cls = 0 // cross ops tokenize on log 0, where their entry lives
+	} else {
+		h.cls = c
+	}
 	if r.ds.IsReadOnly(op) {
 		i.readOps.Add(1)
-		resp, _, err := i.readOnlyVia(h, op, false)
+		if c == CrossLog {
+			resp, err := i.readOnlyCross(h, op)
+			return resp, obs.OpRead, err
+		}
+		resp, _, err := i.readOnlyVia(h, c, op, false)
 		return resp, obs.OpRead, err
 	}
-	if _, ok := r.ds.(FakeUpdater[O, R]); ok {
+	if _, ok := r.ds.(FakeUpdater[O, R]); ok && c != CrossLog {
 		// First attempt the operation as a read (§6). Linearizable: the
 		// no-op outcome is justified by the replica state at the read
 		// point; a false return falls through to the full update, which
 		// re-executes the operation atomically. A panic inside TryReadOnly
 		// is final (done=true): retrying on the update path would replay
-		// the panic into every replica.
-		if resp, done, err := i.readOnlyVia(h, op, true); done {
+		// the panic into every replica. Cross-class updates skip the fast
+		// path — a consistent multi-class read needs every log's lock,
+		// costing more than the log append it would save.
+		if resp, done, err := i.readOnlyVia(h, c, op, true); done {
 			i.readOps.Add(1)
 			return resp, obs.OpRead, err
 		}
 	}
 	i.updateOps.Add(1)
+	if c == CrossLog {
+		resp, err := i.updateCross(h, op)
+		return resp, obs.OpUpdate, err
+	}
 	if i.opts.DisableCombining {
 		resp, err := i.updateUncombined(h, op)
 		return resp, obs.OpUpdate, err
 	}
-	resp, err := i.combine(h, op)
+	resp, err := i.combine(h, c, op)
 	return resp, obs.OpUpdate, err
 }
 
@@ -750,7 +944,9 @@ func (i *Instance[O, R]) dispatch(h *Handle[O, R], op O) (R, obs.OpClass, error)
 // simulates a thread that dies between publishing and combining — the §6
 // stalled-thread hazard — for the chaos tests: the node's next combiner
 // executes the op and delivers a response nobody collects; the slot is
-// permanently retired. Meaningless (and a no-op) under DisableCombining.
+// permanently retired. A cross-class op is appended (with its barriers)
+// but not applied — whichever thread next crosses the barrier applies it.
+// Meaningless (and a no-op) under DisableCombining.
 func (h *Handle[O, R]) PostAndAbandon(op O) {
 	if h.broken == nil {
 		h.broken = errors.New("core: handle abandoned by PostAndAbandon")
@@ -758,55 +954,67 @@ func (h *Handle[O, R]) PostAndAbandon(op O) {
 	if h.inst.opts.DisableCombining {
 		return
 	}
-	r := h.inst.replicas[h.node]
+	i := h.inst
+	r := i.replicas[h.node]
 	s := &r.slots[h.slot]
 	h.seq++
+	c := i.opClass(op)
+	if c == CrossLog {
+		h.cls = 0
+		s.seq = h.seq
+		s.state.Store(slotTaken) // response delivered to a slot nobody reads
+		i.crossOps.Add(1)
+		i.appendCross(h, op)
+		return
+	}
+	h.cls = c
 	s.op = op
 	s.seq = h.seq
+	s.class = int32(c)
 	h.ring.Record(trace.KSlotPublish, h.node, h.token(), 0)
 	s.state.Store(slotPosted)
 }
 
-// replicaWriteLock takes the lock that protects r against readers and other
-// replayers: the combiner lock under ablation #3, the readers-writer lock
-// otherwise.
-func (i *Instance[O, R]) replicaWriteLock(r *replica[O, R]) {
+// replicaLogWriteLock takes the lock that protects (r, c) against readers
+// and other replayers: the combiner lock under ablation #3, the
+// readers-writer lock otherwise.
+func (i *Instance[O, R]) replicaLogWriteLock(r *replica[O, R], c int) {
 	if i.opts.CombinedReplicaLock {
 		// A caller that already holds combinerLock (a combiner, or the
 		// dedicated combiner) never reaches here under ablation #3:
 		// refreshOwn short-circuits on (CombinedReplicaLock &&
 		// haveCombinerLock) before taking this path, so the branches are
 		// correlated on the same flag and re-acquisition is infeasible.
-		r.combinerLock.Lock() //nr:lockok
+		r.logs[c].combinerLock.Lock() //nr:lockok
 	} else {
-		r.rw.Lock()
+		r.logs[c].rw.Lock()
 	}
 }
 
-func (i *Instance[O, R]) replicaTryWriteLock(r *replica[O, R]) bool {
+func (i *Instance[O, R]) replicaLogTryWriteLock(r *replica[O, R], c int) bool {
 	if i.opts.CombinedReplicaLock {
-		return r.combinerLock.TryLock()
+		return r.logs[c].combinerLock.TryLock()
 	}
-	return r.rw.TryLock()
+	return r.logs[c].rw.TryLock()
 }
 
-func (i *Instance[O, R]) replicaWriteUnlock(r *replica[O, R]) {
-	if i.opts.CombinedReplicaLock {
-		r.combinerLock.Unlock()
+func (i *Instance[O, R]) replicaLogWriteUnlock(r *replica[O, R], c int) {
+	if i.opts.CombinedReplicaLock {		r.logs[c].combinerLock.Unlock()
 	} else {
-		r.rw.Unlock()
+		r.logs[c].rw.Unlock()
 	}
 }
 
-// applyEntry executes the log entry at absolute index idx against r — with
+// applyEntry executes log c's entry at absolute index idx against r — with
 // panic containment, so a poisonous op advances localTail like any other —
 // and, if the entry originated on r's node with a response slot, delivers
-// the outcome (value or error).
+// the outcome (value or error). Callers have already ruled out barrier and
+// cross entries (refreshTo stops at them; cross.go applies them).
 //
 //nr:hotpath-noio
 //nr:noalloc
-func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ring *trace.Ring) {
-	res, err := i.safeExecute(r, e.op, idx)
+func (i *Instance[O, R]) applyEntry(r *replica[O, R], c int, idx uint64, e entry[O], ring *trace.Ring) {
+	res, err := i.safeExecute(r, c, e.op, idx)
 	// Per-entry trace events are recorded only for the replay that DELIVERS
 	// a response (plus any contained panic): replays happen (replicas-1)
 	// extra times per op, always under a replica's write-side lock, so
@@ -814,7 +1022,7 @@ func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ri
 	// the node count. Bulk replay remains visible through the aggregate
 	// events (KReaderRefresh, KHelp, KCombineEnd).
 	if e.slot >= 0 && e.node == r.id {
-		tok := trace.Token(int(e.node), int(e.slot), e.seq)
+		tok := trace.TokenWithLog(c, int(e.node), int(e.slot), e.seq)
 		ring.Record(trace.KReplay, int(r.id), idx, tok)
 		if err != nil {
 			ring.Record(trace.KPanic, int(r.id), idx, tok)
@@ -828,48 +1036,59 @@ func (i *Instance[O, R]) applyEntry(r *replica[O, R], idx uint64, e entry[O], ri
 	}
 }
 
-// refreshTo replays filled log entries into the replica up to 'to',
+// refreshTo replays filled entries of log c into the replica up to 'to',
 // stopping early at a hole — a reader may proceed when it finds an empty
-// entry (§5.3). Caller holds r's write-side lock.
+// entry (§5.3) — or at a cross-log barrier/cross entry, whose ticket it
+// returns (0 otherwise): the caller must release the replica lock and run
+// the cross applier (advanceCrossTo) before replaying further. Caller
+// holds (r, c)'s write-side lock.
 //
 //nr:noalloc
-func (i *Instance[O, R]) refreshTo(r *replica[O, R], to uint64, ring *trace.Ring) {
-	for idx := r.localTail.Load(); idx < to; idx++ {
-		e, ok := i.log.Get(idx)
+func (i *Instance[O, R]) refreshTo(r *replica[O, R], c int, to uint64, ring *trace.Ring) uint64 {
+	lg := &r.logs[c]
+	for idx := lg.localTail.Load(); idx < to; idx++ {
+		e, ok := i.logs[c].Get(idx)
 		if !ok {
-			return
+			return 0
 		}
-		i.applyEntry(r, idx, e, ring)
-		r.localTail.Store(idx + 1)
+		if e.kind != entryOp {
+			return e.ticket
+		}
+		i.applyEntry(r, c, idx, e, ring)
+		lg.localTail.Store(idx + 1)
 	}
+	return 0
 }
 
-// waitGet fetches the entry at idx, recording a hole-wait event (with the
-// spin count) when the entry was reserved but not yet filled.
+// waitGet fetches log c's entry at idx, recording a hole-wait event (with
+// the spin count) when the entry was reserved but not yet filled.
 //
 //nr:noalloc
-func (i *Instance[O, R]) waitGet(node int, idx uint64, ring *trace.Ring) entry[O] {
+func (i *Instance[O, R]) waitGet(node, c int, idx uint64, ring *trace.Ring) entry[O] {
 	if ring == nil {
-		return i.log.WaitGet(idx)
+		return i.logs[c].WaitGet(idx)
 	}
-	e, spins := i.log.WaitGetObserved(idx)
+	e, spins := i.logs[c].WaitGetObserved(idx)
 	if spins > 0 {
 		ring.Record(trace.KHoleWait, node, idx, uint64(spins))
 	}
 	return e
 }
 
-// combine is Algorithm 1's Combine: post the op, then either become the
-// combiner or wait for a response (a value or a contained panic).
+// combine is Algorithm 1's Combine on conflict class c: post the op, then
+// either become the class-c combiner or wait for a response (a value or a
+// contained panic).
 //
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
+func (i *Instance[O, R]) combine(h *Handle[O, R], c int, op O) (R, error) {
 	r := i.replicas[h.node]
+	lg := &r.logs[c]
 	s := &r.slots[h.slot]
 	s.op = op
 	s.seq = h.seq
+	s.class = int32(c)
 	tp := h.tsHint
 	if tp == 0 {
 		tp = h.ring.Now()
@@ -895,7 +1114,7 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 			idx := s.idx
 			tok := h.token()
 			h.ring.Record(trace.KExecute, h.node, tok, idx)
-			resp, err := i.safeExecute(r, op, idx)
+			resp, err := i.safeExecute(r, c, op, idx)
 			if err != nil {
 				h.ring.Record(trace.KPanic, h.node, idx, tok)
 			}
@@ -904,15 +1123,15 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 			// The decrement releases the combiner's round; the slot store
 			// above must precede it so the slot is reusable before the
 			// combiner unlocks.
-			r.parPending.Add(-1)
+			lg.parPending.Add(-1)
 			return resp, err
 		}
-		if r.combinerLock.TryLock() {
+		if lg.combinerLock.TryLock() {
 			if s.state.Load() != slotDone {
-				i.runCombiner(r, int32(h.slot), h.ring)
+				i.runCombiner(r, c, int32(h.slot), h.ring)
 			}
-			r.combinerLock.Unlock()
-			// runCombiner served every posted slot, including ours.
+			lg.combinerLock.Unlock()
+			// runCombiner served every posted class-c slot, including ours.
 			resp, err := s.resp, s.err
 			s.state.Store(slotEmpty)
 			return resp, err
@@ -921,17 +1140,19 @@ func (i *Instance[O, R]) combine(h *Handle[O, R], op O) (R, error) {
 	}
 }
 
-// runCombiner executes one combining round, recording its trace events into
-// ring (the combining thread's own ring — combiner events land on the
-// combiner's timeline, joined to each op by token). self is the calling
-// thread's own slot index on r (parallel combining must not hand the
-// combiner's op back to the combiner). The caller holds the combiner lock;
-// under ablation #3 that lock doubles as the replica lock.
+// runCombiner executes one combining round on conflict class c, recording
+// its trace events into ring (the combining thread's own ring — combiner
+// events land on the combiner's timeline, joined to each op by token).
+// self is the calling thread's own slot index on r (parallel combining
+// must not hand the combiner's op back to the combiner). The caller holds
+// class c's combiner lock; under ablation #3 that lock doubles as the
+// replica lock.
 //
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.Ring) {
+func (i *Instance[O, R]) runCombiner(r *replica[O, R], c int, self int32, ring *trace.Ring) {
+	lg := &r.logs[c]
 	o := i.observer
 	var began time.Time
 	if o != nil {
@@ -943,18 +1164,20 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	// resolution that matters here, and the round runs under the combiner
 	// lock — every clock read it saves shortens the serialized section.
 	t0 := ring.Now()
-	ring.RecordAt(t0, trace.KCombineStart, int(r.id), 0, 0)
-	// Collect the batch: every posted slot on this node (§5.2), into the
-	// replica's preallocated scratch buffer (cap = slot count, so append
-	// below never allocates).
-	batch := r.scratch[:0]
+	ring.RecordAt(t0, trace.KCombineStart, int(r.id), 0, uint64(c))
+	// Collect the batch: every posted class-c slot on this node (§5.2),
+	// into this log's preallocated scratch buffer (cap = slot count, so
+	// append below never allocates). The class is read before the CAS and
+	// stable after it: a posted slot's contents are frozen until a combiner
+	// transitions it, and only the owner resets it after slotDone.
+	batch := lg.scratch[:0]
 	collect := func() {
 		for idx := range r.slots {
 			s := &r.slots[idx]
-			if s.state.Load() == slotPosted && s.state.CompareAndSwap(slotPosted, slotTaken) {
+			if s.state.Load() == slotPosted && s.class == int32(c) && s.state.CompareAndSwap(slotPosted, slotTaken) {
 				batch = append(batch, takenSlot[O, R]{s, int32(idx)}) //nr:allocok scratch cap = slot count
 
-				ring.RecordAt(t0, trace.KPickup, int(r.id), trace.Token(int(r.id), idx, s.seq), 0)
+				ring.RecordAt(t0, trace.KPickup, int(r.id), trace.TokenWithLog(c, int(r.id), idx, s.seq), 0)
 			}
 		}
 	}
@@ -969,11 +1192,16 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	firstPass := len(batch)
 	var window time.Duration
 	if i.batchOn && len(batch) < i.batchTarget {
-		if window = i.lingerWindow(r); window > 0 {
+		if window = i.lingerWindow(lg); window > 0 {
 			deadline := time.Now().Add(window)
 			for len(batch) < i.batchTarget {
-				if to := i.log.Completed(); to > r.localTail.Load() {
-					i.refreshOwn(r, to, true, ring)
+				// Batch-aware freshening: absorbing the backlog costs one
+				// replica write-lock acquisition per pass, so take it only
+				// once the backlog amortizes it (mirroring the append
+				// side's one-CAS batch reservation); the pre-batch replay
+				// below catches whatever is left in one acquisition.
+				if to := i.logs[c].Completed(); to >= lg.localTail.Load()+lingerRefreshBatch {
+					i.refreshOwn(r, c, to, true, ring)
 				}
 				runtime.Gosched()
 				collect()
@@ -987,10 +1215,10 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	}
 	if len(batch) == 0 {
 		if i.batchOn {
-			i.adaptAfterRound(r, 0, i.countPosted(r))
+			i.adaptAfterRound(lg, 0, i.countPosted(r, c))
 		}
 		if o != nil {
-			i.reportReaderPressure(r, o)
+			i.reportReaderPressure(r, c, o)
 			o.CombineEnd(int(r.id), 0, 0, time.Since(began))
 		}
 		ring.Record(trace.KCombineEnd, int(r.id), 0, 0)
@@ -1002,7 +1230,7 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	// Append the batch: reserve with one CAS, then fill (§5.1). Entries
 	// carry (node, slot) tags so that if a helper replays them into this
 	// replica first, the helper delivers the responses.
-	start := i.reserveConsuming(r, len(batch), true, ring)
+	start := i.reserveConsuming(r, c, len(batch), true, ring)
 	// One clock read stamps the reservation and the fills: it is taken
 	// AFTER reserveConsuming returns, so a slow reservation (log full,
 	// helping) still shows as a long pickup→reserve phase.
@@ -1010,34 +1238,51 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	ring.RecordAt(t1, trace.KLogReserve, int(r.id), start, uint64(len(batch)))
 	// Persist before Fill: the entry's marker store must publish the
 	// persister's bookkeeping along with the entry (see Persister).
+	// Persisters exist only on single-log instances, where c is 0 and the
+	// token is the classic node|slot|seq.
 	if p := i.persist; p != nil {
 		for k, t := range batch {
-			p.Append(start+uint64(k), trace.Token(int(r.id), int(t.slot), t.s.seq), t.s.op)
+			p.Append(start+uint64(k), trace.TokenWithLog(c, int(r.id), int(t.slot), t.s.seq), t.s.op)
 		}
 	}
 	for k, t := range batch {
-		i.log.Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot, seq: t.s.seq})
-		ring.RecordAt(t1, trace.KLogFill, int(r.id), trace.Token(int(r.id), int(t.slot), t.s.seq), start+uint64(k))
+		i.logs[c].Fill(start+uint64(k), entry[O]{op: t.s.op, node: r.id, slot: t.slot, seq: t.s.seq})
+		ring.RecordAt(t1, trace.KLogFill, int(r.id), trace.TokenWithLog(c, int(r.id), int(t.slot), t.s.seq), start+uint64(k))
 	}
 	end := start + uint64(len(batch))
 
 	if i.opts.SerialReplicaUpdate {
 		// Ablation #4: wait for the previous batch's combiner to finish
 		// updating its replica, serializing replica updates across nodes.
-		for i.log.Completed() < start {
+		for i.logs[c].Completed() < start {
 			runtime.Gosched()
 		}
 	}
 
 	if !i.opts.CombinedReplicaLock {
-		r.rw.Lock()
+		lg.rw.Lock()
 	}
 	// Bring the replica up to date with everything before our batch,
-	// waiting out any holes (§5.1).
-	idx := r.localTail.Load()
-	for ; idx < start; idx++ {
-		i.applyEntry(r, idx, i.waitGet(int(r.id), idx, ring), ring)
-		r.localTail.Store(idx + 1)
+	// waiting out any holes (§5.1). A cross-log barrier before our batch
+	// must be applied by the cross applier, which takes every log's write
+	// lock — release ours around the call (cross.go's lock order).
+	idx := lg.localTail.Load()
+	for idx < start {
+		e := i.waitGet(int(r.id), c, idx, ring)
+		if e.kind != entryOp {
+			if !i.opts.CombinedReplicaLock {
+				lg.rw.Unlock()
+			}
+			i.advanceCrossTo(r, e.ticket, ring)
+			if !i.opts.CombinedReplicaLock {
+				lg.rw.Lock() //nr:lockok re-acquire: released two lines up, around the cross applier
+			}
+			idx = lg.localTail.Load()
+			continue
+		}
+		i.applyEntry(r, c, idx, e, ring)
+		idx++
+		lg.localTail.Store(idx)
 	}
 	parallel := 0
 	if idx == start {
@@ -1045,20 +1290,20 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 		// combining slots rather than re-reading the log. safeExecute keeps
 		// a panicking op from killing the combiner: the outcome is recorded
 		// at the op's log index and delivered like any response.
-		r.localTail.Store(end)
-		i.log.AdvanceCompleted(end)
+		lg.localTail.Store(end)
+		i.logs[c].AdvanceCompleted(end)
 		if i.conc != nil && len(batch) > 1 && i.batchCommutes(batch) {
 			// Parallel combining (batch.go): hand the batch back to the
 			// parked owners to execute concurrently against the replica.
-			parallel = i.parallelApply(r, batch, start, self, ring)
+			parallel = i.parallelApply(r, c, batch, start, self, ring)
 		}
 		if parallel == 0 {
 			for k, t := range batch {
-				tok := trace.Token(int(r.id), int(t.slot), t.s.seq)
+				tok := trace.TokenWithLog(c, int(r.id), int(t.slot), t.s.seq)
 				// KExecute is stamped before the op runs and KRespond after
 				// delivery, so the execute→respond gap is the op's real duration.
 				ring.Record(trace.KExecute, int(r.id), tok, start+uint64(k))
-				t.s.resp, t.s.err = i.safeExecute(r, t.s.op, start+uint64(k))
+				t.s.resp, t.s.err = i.safeExecute(r, c, t.s.op, start+uint64(k))
 				if t.s.err != nil {
 					ring.Record(trace.KPanic, int(r.id), start+uint64(k), tok)
 				}
@@ -1069,39 +1314,42 @@ func (i *Instance[O, R]) runCombiner(r *replica[O, R], self int32, ring *trace.R
 	} else {
 		// A helper replayed past our batch start while we were appending;
 		// finish through the log — tag delivery answers our batch slots.
+		// (Helpers consume barriers before advancing past them, so the
+		// entries in [idx, end) are ours alone: plain ops.)
 		for ; idx < end; idx++ {
-			i.applyEntry(r, idx, i.waitGet(int(r.id), idx, ring), ring)
-			r.localTail.Store(idx + 1)
+			i.applyEntry(r, c, idx, i.waitGet(int(r.id), c, idx, ring), ring)
+			lg.localTail.Store(idx + 1)
 		}
-		i.log.AdvanceCompleted(end)
+		i.logs[c].AdvanceCompleted(end)
 	}
 	if !i.opts.CombinedReplicaLock {
-		r.rw.Unlock()
+		lg.rw.Unlock()
 	}
 	if i.batchOn {
-		i.adaptAfterRound(r, len(batch), i.countPosted(r))
+		i.adaptAfterRound(lg, len(batch), i.countPosted(r, c))
 	}
 	if o != nil {
 		if i.batchOn {
 			o.BatchRound(int(r.id), window, len(batch)-firstPass, parallel)
 		}
-		i.reportReaderPressure(r, o)
+		i.reportReaderPressure(r, c, o)
 		o.CombineEnd(int(r.id), len(batch), len(batch), time.Since(began))
 	}
 	ring.Record(trace.KCombineEnd, int(r.id), uint64(len(batch)), uint64(len(batch)))
 }
 
-// reportReaderPressure fires the ReaderPressure hook with the replica's
-// read-lock acquisitions since the node's previous combining round — the
+// reportReaderPressure fires the ReaderPressure hook with log c's read-lock
+// acquisitions since the node's previous class-c combining round — the
 // combiner-side view of reader traffic the adaptive batching controller
-// folds into its linger signals. Caller holds r's combiner lock (which
+// folds into its linger signals. Caller holds (r, c)'s combiner lock (which
 // protects lastReaderAcq) and has already nil-checked o.
 //
 //nr:noalloc
-func (i *Instance[O, R]) reportReaderPressure(r *replica[O, R], o obs.Observer) {
-	acq := r.rw.ReaderAcquires()
-	delta := acq - r.lastReaderAcq
-	r.lastReaderAcq = acq
+func (i *Instance[O, R]) reportReaderPressure(r *replica[O, R], c int, o obs.Observer) {
+	lg := &r.logs[c]
+	acq := lg.rw.ReaderAcquires()
+	delta := acq - lg.lastReaderAcq
+	lg.lastReaderAcq = acq
 	if o != nil && delta > 0 {
 		o.ReaderPressure(int(r.id), int(delta))
 	}
@@ -1115,36 +1363,38 @@ const uncombinedDeliveryWait = 2 * time.Second
 // updateUncombined is ablation #1: no flat combining — the thread appends
 // its own single-entry batch. The response arrives through the entry's
 // (node, slot) tag: either our own replay below delivers it, or a same-node
-// thread that replayed past our entry first already has.
+// thread that replayed past our entry first already has. Single-log only
+// (ablations are gated off multi-log instances), so class is always 0.
 //
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
 func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	r := i.replicas[h.node]
+	lg := &r.logs[0]
 	s := &r.slots[h.slot]
 	s.seq = h.seq
 	s.state.Store(slotTaken) // awaiting response via log replay
-	start := i.reserveConsuming(r, 1, false, h.ring)
+	start := i.reserveConsuming(r, 0, 1, false, h.ring)
 	h.ring.Record(trace.KLogReserve, h.node, start, 1)
 	// Persist before Fill, as in runCombiner (see Persister).
 	if p := i.persist; p != nil {
 		p.Append(start, h.token(), op)
 	}
-	i.log.Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot), seq: h.seq})
+	i.logs[0].Fill(start, entry[O]{op: op, node: r.id, slot: int32(h.slot), seq: h.seq})
 	h.ring.Record(trace.KLogFill, h.node, h.token(), start)
 	if i.opts.SerialReplicaUpdate {
-		for i.log.Completed() < start {
+		for i.logs[0].Completed() < start {
 			runtime.Gosched()
 		}
 	}
-	i.replicaWriteLock(r)
-	for idx := r.localTail.Load(); idx <= start; idx++ {
-		i.applyEntry(r, idx, i.waitGet(h.node, idx, h.ring), h.ring)
-		r.localTail.Store(idx + 1)
+	i.replicaLogWriteLock(r, 0)
+	for idx := lg.localTail.Load(); idx <= start; idx++ {
+		i.applyEntry(r, 0, idx, i.waitGet(h.node, 0, idx, h.ring), h.ring)
+		lg.localTail.Store(idx + 1)
 	}
-	i.log.AdvanceCompleted(start + 1)
-	i.replicaWriteUnlock(r)
+	i.logs[0].AdvanceCompleted(start + 1)
+	i.replicaLogWriteUnlock(r, 0)
 	// Delivery is guaranteed by now: whoever advanced localTail past our
 	// entry did so under the replica lock and wrote the response first. A
 	// bounded wait guards the invariant instead of a process-killing panic:
@@ -1170,31 +1420,43 @@ func (i *Instance[O, R]) updateUncombined(h *Handle[O, R], op O) (R, error) {
 	return resp, err
 }
 
-// refreshOwn refreshes r to 'to'. haveLock says the caller already holds
-// the lock protecting the replica (a combiner under ablation #3).
-func (i *Instance[O, R]) refreshOwn(r *replica[O, R], to uint64, haveCombinerLock bool, ring *trace.Ring) {
-	if i.opts.CombinedReplicaLock && haveCombinerLock {
-		i.refreshTo(r, to, ring)
-		return
+// refreshOwn refreshes (r, c) to 'to', applying any cross-log barriers it
+// meets on the way (each barrier costs a release/advance/re-acquire cycle;
+// see cross.go). haveCombinerLock says the caller already holds the lock
+// protecting the replica (a combiner under ablation #3).
+func (i *Instance[O, R]) refreshOwn(r *replica[O, R], c int, to uint64, haveCombinerLock bool, ring *trace.Ring) {
+	for {
+		var blocked uint64
+		if i.opts.CombinedReplicaLock && haveCombinerLock {
+			blocked = i.refreshTo(r, c, to, ring)
+		} else {
+			i.replicaLogWriteLock(r, c)
+			blocked = i.refreshTo(r, c, to, ring)
+			i.replicaLogWriteUnlock(r, c)
+		}
+		if blocked == 0 {
+			return
+		}
+		i.advanceCrossTo(r, blocked, ring)
 	}
-	i.replicaWriteLock(r)
-	i.refreshTo(r, to, ring)
-	i.replicaWriteUnlock(r)
 }
 
-// reserveConsuming reserves n log entries on behalf of r. When the log is
-// full, simply spinning would deadlock: the recycler needs *every* replica's
-// localTail to advance, including replicas on nodes whose threads are
-// currently inactive (§6). So a blocked appender (1) drains the log into its
-// own replica and (2) helps lagging replicas catch up to completedTail.
+// reserveConsuming reserves n entries of log c on behalf of r. When the
+// log is full, simply spinning would deadlock: the recycler needs *every*
+// replica's localTail to advance, including replicas on nodes whose threads
+// are currently inactive (§6). So a blocked appender (1) drains the log
+// into its own replica and (2) helps lagging replicas catch up to
+// completedTail — driving the cross applier through any barrier that is
+// what actually blocks a lagging replica.
 //
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerLock bool, ring *trace.Ring) uint64 {
+func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], c, n int, haveCombinerLock bool, ring *trace.Ring) uint64 {
+	l := i.logs[c]
 	o := i.observer
 	reported := false
 	for {
-		start, casRetries, ok := i.log.TryReserveObserved(n)
+		start, casRetries, ok := l.TryReserveObserved(n)
 		if o != nil && casRetries > 0 {
 			o.LogTailRetry(int(r.id), casRetries)
 		}
@@ -1203,24 +1465,25 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 		}
 		if !reported {
 			reported = true // one log-full event per blocked reservation
-			ring.Record(trace.KLogFull, int(r.id), i.log.Tail(), 0)
+			ring.Record(trace.KLogFull, int(r.id), l.Tail(), 0)
 		}
 		// Drain into our own replica so our localTail is not the laggard.
-		if to := i.log.Tail(); to > r.localTail.Load() {
-			i.refreshOwn(r, to, haveCombinerLock, ring)
+		if to := l.Tail(); to > r.logs[c].localTail.Load() {
+			i.refreshOwn(r, c, to, haveCombinerLock, ring)
 		}
 		// Help other replicas, bounded by completedTail (see package doc).
-		to := i.log.Completed()
+		to := l.Completed()
 		for _, r2 := range i.replicas {
-			if r2 == r || r2.localTail.Load() >= to {
+			if r2 == r || r2.logs[c].localTail.Load() >= to {
 				continue
 			}
-			if i.replicaTryWriteLock(r2) {
-				before := r2.localTail.Load()
-				i.refreshTo(r2, to, ring)
-				helped := r2.localTail.Load() - before
+			var blocked uint64
+			if i.replicaLogTryWriteLock(r2, c) {
+				before := r2.logs[c].localTail.Load()
+				blocked = i.refreshTo(r2, c, to, ring)
+				helped := r2.logs[c].localTail.Load() - before
 				i.helpedEntries.Add(helped)
-				i.replicaWriteUnlock(r2)
+				i.replicaLogWriteUnlock(r2, c)
 				if helped > 0 {
 					if o != nil {
 						o.Help(int(r2.id), int(helped))
@@ -1228,29 +1491,81 @@ func (i *Instance[O, R]) reserveConsuming(r *replica[O, R], n int, haveCombinerL
 					ring.Record(trace.KHelp, int(r2.id), helped, 0)
 				}
 			}
+			if blocked != 0 {
+				// The laggard is parked at a cross-log barrier; apply the
+				// cross op for it (with no replica lock held — the cross
+				// applier takes every log's lock itself).
+				i.advanceCrossTo(r2, blocked, ring)
+			}
 		}
 		runtime.Gosched()
 	}
 }
 
-// readOnlyVia is Algorithm 1's ReadOnly (§5.3): wait until the local
-// replica reflects completedTail as of the start of the read, then run the
-// operation locally under the read-side lock. With fake set, the operation
-// is attempted through the structure's FakeUpdater.TryReadOnly instead of
-// Execute (§6), and done reports whether that resolved it. The body avoids
-// closures so the read hot path does not allocate.
+// waitReplicaTail waits until (r, c)'s localTail reaches readTail,
+// combining with an active class-c combiner when one exists and otherwise
+// electing one reader to refresh the replica (§5.3). It reports whether it
+// had to wait at all.
+//
+//nr:noalloc
+//nr:spin
+func (i *Instance[O, R]) waitReplicaTail(h *Handle[O, R], r *replica[O, R], c int, readTail uint64) (waited bool) {
+	lg := &r.logs[c]
+	for lg.localTail.Load() < readTail {
+		waited = true
+		if lg.combinerLock.Locked() {
+			// A combiner exists; it will advance the replica (§5.3).
+			runtime.Gosched()
+			continue
+		}
+		// No combiner: elect one reader to refresh the replica under the
+		// writer lock; the rest wait for localTail to advance.
+		if !lg.refresher.TryLock() {
+			runtime.Gosched()
+			continue
+		}
+		lg.rw.Lock()
+		var blocked uint64
+		if before := lg.localTail.Load(); before < readTail {
+			i.readerRefreshes.Add(1)
+			blocked = i.refreshTo(r, c, readTail, h.ring)
+			if o := i.observer; o != nil {
+				o.ReaderRefresh(h.node, int(lg.localTail.Load()-before))
+			}
+			h.ring.Record(trace.KReaderRefresh, h.node, uint64(lg.localTail.Load()-before), 0)
+		}
+		lg.rw.Unlock()
+		lg.refresher.Unlock()
+		if blocked != 0 {
+			// Parked at a cross-log barrier: apply the cross op (the
+			// applier takes every log's lock, so ours had to go first).
+			i.advanceCrossTo(r, blocked, h.ring)
+		}
+	}
+	return waited
+}
+
+// readOnlyVia is Algorithm 1's ReadOnly (§5.3) on conflict class c: wait
+// until the local replica reflects class c's completedTail as of the start
+// of the read, then run the operation locally under that class's read-side
+// lock — reads never wait on logs their class does not touch. With fake
+// set, the operation is attempted through the structure's
+// FakeUpdater.TryReadOnly instead of Execute (§6), and done reports whether
+// that resolved it. The body avoids closures so the read hot path does not
+// allocate.
 //
 //nr:hotpath-noio
 //nr:noalloc
 //nr:spin
-func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool, error) {
+func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], c int, op O, fake bool) (R, bool, error) {
 	r := i.replicas[h.node]
+	lg := &r.logs[c]
 	tok := h.token()
 	var readTail uint64
 	if i.opts.ReadWaitLogTail {
-		readTail = i.log.Tail() // ablation #2: block on local combiner holes
+		readTail = i.logs[c].Tail() // ablation #2: block on local combiner holes
 	} else {
-		readTail = i.log.Completed()
+		readTail = i.logs[c].Completed()
 	}
 	t0 := h.tsHint
 	if t0 == 0 {
@@ -1259,52 +1574,28 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool,
 	h.ring.RecordAt(t0, trace.KTailRead, h.node, tok, readTail)
 	if i.opts.CombinedReplicaLock {
 		// Ablation #3: the combiner lock protects the replica; readers
-		// serialize with the whole combining cycle.
-		r.combinerLock.Lock()
+		// serialize with the whole combining cycle. Single-log only, so
+		// refreshTo can never stop at a barrier here.
+		lg.combinerLock.Lock()
 		h.ring.Record(trace.KRLock, h.node, tok, 0)
-		if before := r.localTail.Load(); before < readTail {
+		if before := lg.localTail.Load(); before < readTail {
 			i.readerRefreshes.Add(1)
-			for r.localTail.Load() < readTail {
-				i.refreshTo(r, readTail, h.ring)
+			for lg.localTail.Load() < readTail {
+				i.refreshTo(r, c, readTail, h.ring)
 				runtime.Gosched()
 			}
 			if o := i.observer; o != nil {
-				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
+				o.ReaderRefresh(h.node, int(lg.localTail.Load()-before))
 			}
-			h.ring.Record(trace.KReaderRefresh, h.node, uint64(r.localTail.Load()-before), 0)
+			h.ring.Record(trace.KReaderRefresh, h.node, uint64(lg.localTail.Load()-before), 0)
 		}
 		resp, done, err := i.safeRead(r, op, fake)
-		r.combinerLock.Unlock()
+		lg.combinerLock.Unlock()
 		return resp, done, err
 	}
-	waited := false
-	for r.localTail.Load() < readTail {
-		waited = true
-		if r.combinerLock.Locked() {
-			// A combiner exists; it will advance the replica (§5.3).
-			runtime.Gosched()
-			continue
-		}
-		// No combiner: elect one reader to refresh the replica under the
-		// writer lock; the rest wait for localTail to advance.
-		if !r.refresher.TryLock() {
-			runtime.Gosched()
-			continue
-		}
-		r.rw.Lock()
-		if before := r.localTail.Load(); before < readTail {
-			i.readerRefreshes.Add(1)
-			i.refreshTo(r, readTail, h.ring)
-			if o := i.observer; o != nil {
-				o.ReaderRefresh(h.node, int(r.localTail.Load()-before))
-			}
-			h.ring.Record(trace.KReaderRefresh, h.node, uint64(r.localTail.Load()-before), 0)
-		}
-		r.rw.Unlock()
-		r.refresher.Unlock()
-	}
+	waited := i.waitReplicaTail(h, r, c, readTail)
 	if h.ring != nil {
-		spins := r.rw.RLockObserved(h.slot)
+		spins := lg.rw.RLockObserved(h.slot)
 		// Uncontended reads acquired the lock nanoseconds after t0: reuse
 		// the clock read. Only a read that actually waited (for the tail or
 		// for the lock) pays a second one for a faithful rlock timestamp.
@@ -1314,18 +1605,21 @@ func (i *Instance[O, R]) readOnlyVia(h *Handle[O, R], op O, fake bool) (R, bool,
 		}
 		h.ring.RecordAt(t1, trace.KRLock, h.node, tok, uint64(spins))
 	} else {
-		r.rw.RLock(h.slot)
+		lg.rw.RLock(h.slot)
 	}
 	resp, done, err := i.safeRead(r, op, fake)
-	r.rw.RUnlock(h.slot)
+	lg.rw.RUnlock(h.slot)
 	return resp, done, err
 }
 
 // stats builds the counter slice of the Metrics snapshot.
 func (i *Instance[O, R]) stats() Stats {
-	var acquires uint64
+	var racquires, wacquires uint64
 	for _, r := range i.replicas {
-		acquires += r.rw.ReaderAcquires()
+		for c := range r.logs {
+			racquires += r.logs[c].rw.ReaderAcquires()
+			wacquires += r.logs[c].rw.WriterAcquires()
+		}
 	}
 	return Stats{
 		Combines:        i.combines.Load(),
@@ -1335,7 +1629,9 @@ func (i *Instance[O, R]) stats() Stats {
 		ReadOps:         i.readOps.Load(),
 		UpdateOps:       i.updateOps.Load(),
 		ParallelOps:     i.parallelOps.Load(),
-		ReaderAcquires:  acquires,
+		CrossOps:        i.crossOps.Load(),
+		ReaderAcquires:  racquires,
+		WriterAcquires:  wacquires,
 		Panics:          i.panics.Load(),
 		Stalls:          i.stalls.Load(),
 	}
@@ -1343,6 +1639,9 @@ func (i *Instance[O, R]) stats() Stats {
 
 // Replicas returns the number of per-node replicas.
 func (i *Instance[O, R]) Replicas() int { return len(i.replicas) }
+
+// Logs returns the number of shared logs (conflict classes).
+func (i *Instance[O, R]) Logs() int { return len(i.logs) }
 
 // TraceRecorder returns the attached flight recorder, nil when tracing is
 // disabled.
@@ -1353,11 +1652,18 @@ func (i *Instance[O, R]) TraceRecorder() *trace.Recorder { return i.rec }
 // concurrently with operations and with Close.
 func (i *Instance[O, R]) TraceSnapshot() trace.Snapshot { return i.rec.Snapshot() }
 
-// LogTail exposes the log tail for tests and monitoring.
-func (i *Instance[O, R]) LogTail() uint64 { return i.log.Tail() }
+// LogTail exposes log 0's tail for tests and monitoring (single-log
+// instances have only log 0; see Metrics for the per-log gauges).
+func (i *Instance[O, R]) LogTail() uint64 { return i.logs[0].Tail() }
 
-// LogMemoryBytes returns the shared log's memory footprint.
-func (i *Instance[O, R]) LogMemoryBytes() uint64 { return i.log.MemoryBytes() }
+// LogMemoryBytes returns the shared logs' combined memory footprint.
+func (i *Instance[O, R]) LogMemoryBytes() uint64 {
+	var total uint64
+	for _, l := range i.logs {
+		total += l.MemoryBytes()
+	}
+	return total
+}
 
 // Sizer is optionally implemented by sequential structures that can report
 // their memory footprint; MemoryBytes sums it across replicas.
@@ -1368,7 +1674,7 @@ type Sizer interface {
 // MemoryBytes returns log bytes plus the sum of replica footprints for
 // structures implementing Sizer (used for the paper's memory tables).
 func (i *Instance[O, R]) MemoryBytes() uint64 {
-	total := i.log.MemoryBytes()
+	total := i.LogMemoryBytes()
 	for _, r := range i.replicas {
 		if s, ok := r.ds.(Sizer); ok {
 			total += s.MemoryBytes()
@@ -1377,48 +1683,71 @@ func (i *Instance[O, R]) MemoryBytes() uint64 {
 	return total
 }
 
-// Quiesce brings every replica up to date with all completed operations.
-// It is a testing/maintenance aid (e.g. before inspecting replicas); the
-// algorithm itself never needs it.
-func (i *Instance[O, R]) Quiesce() {
-	to := i.log.Completed()
-	for _, r := range i.replicas {
-		i.replicaWriteLock(r)
-		for idx := r.localTail.Load(); idx < to; idx++ {
-			i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
-			r.localTail.Store(idx + 1)
+// quiesceReplica brings one replica up to date with every log's completed
+// tail, applying cross-log barriers as it meets them.
+func (i *Instance[O, R]) quiesceReplica(r *replica[O, R]) {
+	for c := range i.logs {
+		to := i.logs[c].Completed()
+		for {
+			lg := &r.logs[c]
+			var blocked uint64
+			i.replicaLogWriteLock(r, c)
+			for idx := lg.localTail.Load(); idx < to; idx++ {
+				e := i.logs[c].WaitGet(idx)
+				if e.kind != entryOp {
+					blocked = e.ticket
+					break
+				}
+				i.applyEntry(r, c, idx, e, nil)
+				lg.localTail.Store(idx + 1)
+			}
+			i.replicaLogWriteUnlock(r, c)
+			if blocked == 0 {
+				break
+			}
+			i.advanceCrossTo(r, blocked, nil)
 		}
-		i.replicaWriteUnlock(r)
+	}
+}
+
+// Quiesce brings every replica up to date with all completed operations on
+// every log. It is a testing/maintenance aid (e.g. before inspecting
+// replicas); the algorithm itself never needs it.
+func (i *Instance[O, R]) Quiesce() {
+	for _, r := range i.replicas {
+		i.quiesceReplica(r)
 	}
 }
 
 // CheckpointReplica quiesces node's replica to the completed tail, then
-// runs fn with the write lock held, passing the replica's applied index:
-// every log entry with index < applied is reflected in ds, none at or
-// beyond it. The persistence layer snapshots through this — the applied
-// index is the snapshot's replay resumption point.
+// runs fn with every log's write lock held, passing the replica's applied
+// index on log 0: every log-0 entry with index < applied is reflected in
+// ds, none at or beyond it. The persistence layer snapshots through this —
+// the applied index is the snapshot's replay resumption point. (Persistence
+// is single-log, so log 0's index is the whole story there.)
 func (i *Instance[O, R]) CheckpointReplica(node int, fn func(ds Sequential[O, R], applied uint64)) {
 	r := i.replicas[node]
-	to := i.log.Completed()
-	i.replicaWriteLock(r)
-	for idx := r.localTail.Load(); idx < to; idx++ {
-		i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
-		r.localTail.Store(idx + 1)
+	i.quiesceReplica(r)
+	for c := range i.logs {
+		i.replicaLogWriteLock(r, c) //nr:lockok index order across one replica's logs
 	}
-	fn(r.ds, r.localTail.Load())
-	i.replicaWriteUnlock(r)
+	fn(r.ds, r.logs[0].localTail.Load())
+	for c := len(i.logs) - 1; c >= 0; c-- {
+		i.replicaLogWriteUnlock(r, c)
+	}
 }
 
-// InspectReplica runs fn against node's replica with the write lock held,
-// after quiescing that replica. Tests use it to compare replica states.
+// InspectReplica runs fn against node's replica with every log's write
+// lock held, after quiescing that replica. Tests use it to compare replica
+// states.
 func (i *Instance[O, R]) InspectReplica(node int, fn func(ds Sequential[O, R])) {
 	r := i.replicas[node]
-	to := i.log.Completed()
-	i.replicaWriteLock(r)
-	for idx := r.localTail.Load(); idx < to; idx++ {
-		i.applyEntry(r, idx, i.log.WaitGet(idx), nil)
-		r.localTail.Store(idx + 1)
+	i.quiesceReplica(r)
+	for c := range i.logs {
+		i.replicaLogWriteLock(r, c) //nr:lockok index order across one replica's logs
 	}
 	fn(r.ds)
-	i.replicaWriteUnlock(r)
+	for c := len(i.logs) - 1; c >= 0; c-- {
+		i.replicaLogWriteUnlock(r, c)
+	}
 }

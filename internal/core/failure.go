@@ -49,6 +49,22 @@ import (
 // noIndex marks a panic that did not come from a logged entry (read path).
 const noIndex = ^uint64(0)
 
+// panicKeyMask is the index part of a tracker key; the top byte carries the
+// conflict class so per-log indices (which independently count from 0) do
+// not collide in the tracker. Class 0 keys equal the raw index, preserving
+// the single-log behavior exactly.
+const panicKeyMask = 1<<56 - 1
+
+// panicKey packs (conflict class, absolute per-log index) into one tracker
+// key. noIndex passes through unchanged (its top byte is 0xff, above any
+// valid class — maxLogs is 64).
+func panicKey(cls int, idx uint64) uint64 {
+	if idx == noIndex {
+		return noIndex
+	}
+	return uint64(cls)<<56 | idx&panicKeyMask
+}
+
 // ErrPoisoned is reported (wrapped, via errors.Is) once NR has observed
 // replicas diverge — user Execute panicked on some replicas but not others,
 // or with different panic values, violating the determinism contract of §4.
@@ -140,8 +156,10 @@ func (t *panicTracker) recordPanic(replica int32, idx uint64, msg string, minTai
 		t.recs = make(map[uint64]*panicRecord)
 	}
 	for i, rec := range t.recs {
-		// Retired: every replica applied i; keep divergent ones until poisoned.
-		if i < minTail && rec.okBy == 0 {
+		// Retired: every replica applied i; keep divergent ones until
+		// poisoned. minTail is a per-log tail, so only keys of the same
+		// conflict class (same top byte) are comparable against it.
+		if i>>56 == idx>>56 && i&panicKeyMask < minTail && rec.okBy == 0 {
 			delete(t.recs, i)
 		}
 	}
@@ -206,17 +224,19 @@ func (i *Instance[O, R]) poisonedErr() error {
 	return fmt.Errorf("%w: %s", ErrPoisoned, reason)
 }
 
-// safeExecute runs e.op against r's structure with panic containment. idx is
-// the absolute log index (noIndex for unlogged ops). The returned error is
-// nil or a *PanicError.
+// safeExecute runs op against r's structure with panic containment. cls is
+// the op's conflict class and idx the absolute index in that class's log
+// (noIndex for unlogged ops); the pair keys the divergence tracker, while
+// PanicError carries the raw per-log index — the number users see in log
+// gauges and persistence. The returned error is nil or a *PanicError.
 //
 //nr:noalloc
-func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R, err error) {
+func (i *Instance[O, R]) safeExecute(r *replica[O, R], cls int, op O, idx uint64) (resp R, err error) {
 	defer func() {
 		p := recover()
 		if p == nil {
 			if idx != noIndex && i.tracker.active.Load() != 0 {
-				if reason := i.tracker.recordOK(r.id, idx); reason != "" {
+				if reason := i.tracker.recordOK(r.id, panicKey(cls, idx)); reason != "" {
 					i.poison(reason)
 				}
 			}
@@ -229,7 +249,7 @@ func (i *Instance[O, R]) safeExecute(r *replica[O, R], op O, idx uint64) (resp R
 		pe := &PanicError{Value: p, Stack: string(debug.Stack()), Index: idx} //nr:allocok contained-panic path
 		if idx != noIndex {
 			//nr:allocok contained-panic path
-			if reason := i.tracker.recordPanic(r.id, idx, fmt.Sprint(p), i.log.MinLocalTail()); reason != "" {
+			if reason := i.tracker.recordPanic(r.id, panicKey(cls, idx), fmt.Sprint(p), i.logs[cls].MinLocalTail()); reason != "" {
 				i.poison(reason)
 			}
 		}
@@ -285,8 +305,15 @@ func (i *Instance[O, R]) health() Health {
 	if th := i.opts.StallThreshold; th > 0 {
 		now := time.Now().UnixNano()
 		for n, r := range i.replicas {
-			if r.combinerLock.HeldFor(now) > th {
+			if r.crossApply.HeldFor(now) > th {
 				h.StalledNodes = append(h.StalledNodes, n)
+				continue
+			}
+			for c := range r.logs {
+				if r.logs[c].combinerLock.HeldFor(now) > th {
+					h.StalledNodes = append(h.StalledNodes, n)
+					break // one entry per node, whichever class is stalled
+				}
 			}
 		}
 	}
@@ -308,7 +335,12 @@ func (i *Instance[O, R]) watchdog() {
 	}
 	tick := time.NewTicker(period)
 	defer tick.Stop()
-	counted := make([]int64, len(i.replicas)) // acquisition stamp already counted as a stall
+	m := len(i.logs)
+	// counted[n*(m+1)+c]: acquisition stamp already counted as a stall for
+	// (node n, conflict class c) — each per-log combiner stalls on its own.
+	// Pseudo-class m is node n's cross applier, which readers may drive
+	// without holding any combiner lock.
+	counted := make([]int64, len(i.replicas)*(m+1))
 	for {
 		select {
 		case <-i.stop:
@@ -318,42 +350,60 @@ func (i *Instance[O, R]) watchdog() {
 		now := time.Now().UnixNano()
 		stalled := false
 		for n, r := range i.replicas {
-			since := r.combinerLock.HeldSince()
-			if since == 0 || time.Duration(now-since) <= th {
-				continue
-			}
-			stalled = true
-			if counted[n] != since {
-				counted[n] = since
-				i.stalls.Add(1)
-				if o := i.observer; o != nil {
-					o.Stall(n, time.Duration(now-since))
+			for c := 0; c <= m; c++ {
+				var since int64
+				if c == m {
+					if m == 1 {
+						continue // single-log: no cross applier
+					}
+					since = r.crossApply.HeldSince()
+				} else {
+					since = r.logs[c].combinerLock.HeldSince()
 				}
-				ring.Record(trace.KStall, n, uint64(now-since), 0)
-				i.rec.AutoDump("stall")
+				if since == 0 || time.Duration(now-since) <= th {
+					continue
+				}
+				stalled = true
+				if counted[n*(m+1)+c] != since {
+					counted[n*(m+1)+c] = since
+					i.stalls.Add(1)
+					if o := i.observer; o != nil {
+						o.Stall(n, time.Duration(now-since))
+					}
+					ring.Record(trace.KStall, n, uint64(now-since), uint64(c))
+					i.rec.AutoDump("stall")
+				}
 			}
 		}
 		if !stalled {
 			continue
 		}
-		// Recovery: the inactive-replica helping path, bounded by
-		// completedTail (safe against in-flight combiners; see package doc).
-		to := i.log.Completed()
-		for _, r2 := range i.replicas {
-			if r2.localTail.Load() >= to {
-				continue
-			}
-			if i.replicaTryWriteLock(r2) {
-				before := r2.localTail.Load()
-				i.refreshTo(r2, to, ring)
-				helped := r2.localTail.Load() - before
-				i.helpedEntries.Add(helped)
-				i.replicaWriteUnlock(r2)
-				if helped > 0 {
-					if o := i.observer; o != nil {
-						o.Help(int(r2.id), int(helped))
+		// Recovery: the inactive-replica helping path on every log, bounded
+		// by completedTail (safe against in-flight combiners; see package
+		// doc). A laggard parked at a cross-log barrier needs the cross
+		// applier driven, same as the reserveConsuming helping path.
+		for c := range i.logs {
+			to := i.logs[c].Completed()
+			for _, r2 := range i.replicas {
+				if r2.logs[c].localTail.Load() >= to {
+					continue
+				}
+				var blocked uint64
+				if i.replicaLogTryWriteLock(r2, c) {
+					before := r2.logs[c].localTail.Load()
+					blocked = i.refreshTo(r2, c, to, ring)
+					helped := r2.logs[c].localTail.Load() - before
+					i.helpedEntries.Add(helped)
+					i.replicaLogWriteUnlock(r2, c)
+					if helped > 0 {
+						if o := i.observer; o != nil {
+							o.Help(int(r2.id), int(helped))
+						}
+						ring.Record(trace.KHelp, int(r2.id), helped, 0)
 					}
-					ring.Record(trace.KHelp, int(r2.id), helped, 0)
+				}
+				if blocked != 0 {
+					i.advanceCrossTo(r2, blocked, ring)
 				}
 			}
 		}

@@ -23,11 +23,11 @@ func TestSlotLayout(t *testing.T) {
 	if strconv.IntSize != 64 {
 		return
 	}
-	if stateOff != 12 {
-		t.Errorf("slot.state offset = %d, want 12 (op 0-8, seq 8-12)", stateOff)
+	if stateOff != 16 {
+		t.Errorf("slot.state offset = %d, want 16 (op 0-8, seq 8-12, class 12-16)", stateOff)
 	}
 	if respOff != 72 {
-		t.Errorf("slot.resp offset = %d, want 72 (state's line padded out at 16-72)", respOff)
+		t.Errorf("slot.resp offset = %d, want 72 (state's line padded out at 20-72)", respOff)
 	}
 	// idx rides the response line after err (same writer, same reader, same
 	// phase — see the field comment), growing the slot from 96 to 104.

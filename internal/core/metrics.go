@@ -9,6 +9,13 @@
 // NR's behaviour: batch size decides whether combining wins (§5.2, Fig. 13),
 // log occupancy and replica lag decide when appenders must help (§5.6, §6),
 // and the read/update latency split is the read-path argument of §5.3.
+//
+// Multi-log instances expose one LogGauges per shared log (Metrics.Logs)
+// and one ReplicaLogGauges per (replica, log) pair; the flat Metrics.Log
+// and the flat ReplicaGauges fields remain as aggregates so single-log
+// consumers (dashboards, golden files, the windowed telemetry plane) keep
+// reading the same shape — at m=1 the aggregates equal log 0's gauges
+// exactly.
 package core
 
 import (
@@ -17,7 +24,7 @@ import (
 	"github.com/asplos17/nr/internal/obs"
 )
 
-// LogGauges is a live snapshot of the shared log's position counters.
+// LogGauges is a live snapshot of one shared log's position counters.
 type LogGauges struct {
 	// Tail is logTail: the next unreserved absolute index.
 	Tail uint64 `json:"tail"`
@@ -33,27 +40,60 @@ type LogGauges struct {
 	Occupancy float64 `json:"occupancy"`
 }
 
-// ReplicaGauges is a live snapshot of one replica's position in the log.
+// ReplicaLogGauges is one (replica, log) pair's slice of the snapshot: the
+// per-conflict-class position and combining state multi-log NR keeps per
+// log where classic NR had one of each per replica.
+type ReplicaLogGauges struct {
+	// Log is the conflict class (log index) these gauges describe.
+	Log int `json:"log"`
+	// LocalTail is the next index of this log the replica will apply.
+	LocalTail uint64 `json:"local_tail"`
+	// CompletedLag is this log's completed entries the replica has not yet
+	// absorbed — the staleness a class-local reader would wait out.
+	CompletedLag uint64 `json:"completed_lag"`
+	// CombinerHeldNs is how long this class's current combiner-lock holder
+	// has been inside its round (0 when the lock is free).
+	CombinerHeldNs int64 `json:"combiner_held_ns"`
+	// LingerWindowNs is this class's current adaptive linger window.
+	LingerWindowNs int64 `json:"linger_window_ns"`
+	// Batches and BatchMean summarize this class's observed combining batch
+	// sizes on this replica (count of rounds, mean ops per round).
+	Batches   uint64  `json:"batches"`
+	BatchMean float64 `json:"batch_mean"`
+}
+
+// ReplicaGauges is a live snapshot of one replica's position in the logs.
+// The flat fields aggregate across the replica's logs (sums for tails and
+// lags, maxima for the hold and window gauges) and equal log 0's values
+// exactly on single-log instances; Logs carries the per-class breakdown.
 type ReplicaGauges struct {
 	Node int `json:"node"`
-	// LocalTail is the next log index this replica will apply.
+	// LocalTail is the sum of per-log local tails: total entries applied.
 	LocalTail uint64 `json:"local_tail"`
-	// CompletedLag is how many completed entries the replica has not yet
-	// absorbed (completedTail - localTail, clamped at 0) — the staleness a
-	// reader on this node would have to wait out.
+	// CompletedLag is the total completed entries not yet absorbed, summed
+	// across logs — the staleness a reader on this node would have to wait
+	// out (its own class's share of it).
 	CompletedLag uint64 `json:"completed_lag"`
 	// Registered is the number of handles bound to this node.
 	Registered int `json:"registered"`
-	// CombinerHeldNs is how long the current combiner-lock holder has been
-	// inside its round (0 when the lock is free).
+	// CombinerHeldNs is the longest current combiner-lock hold across the
+	// replica's logs (0 when all are free).
 	CombinerHeldNs int64 `json:"combiner_held_ns"`
-	// LingerWindowNs is the replica's current adaptive linger window
-	// (batch.go); 0 when the batching policy is off or non-adaptive.
+	// LingerWindowNs is the largest current adaptive linger window across
+	// the replica's logs; 0 when the batching policy is off or non-adaptive.
 	LingerWindowNs int64 `json:"linger_window_ns"`
-	// ReaderAcquires is the cumulative read-lock acquisition count on this
-	// replica's readers-writer lock (0 under the centralized ablation lock,
-	// which has no per-reader counters).
+	// ReaderAcquires is the cumulative read-lock acquisition count across
+	// this replica's readers-writer locks (0 under the centralized ablation
+	// lock, which has no per-reader counters).
 	ReaderAcquires uint64 `json:"reader_acquires"`
+	// WriterAcquires is the cumulative write-lock acquisition count across
+	// this replica's readers-writer locks — combiner rounds, reader-elected
+	// refreshes, helper passes and cross appliers all pay one each, so the
+	// counter measures how often the replica's serialization point was
+	// taken (the batch-aware replay regression test pins it).
+	WriterAcquires uint64 `json:"writer_acquires"`
+	// Logs is the per-conflict-class breakdown (len = number of logs).
+	Logs []ReplicaLogGauges `json:"logs,omitempty"`
 }
 
 // PersistGauges is the durability slice of the Metrics snapshot, populated
@@ -85,9 +125,14 @@ type PersistGauges struct {
 // live gauges, and (when an obs.Metrics observer is attached) event-derived
 // latency and batch-size distributions.
 type Metrics struct {
-	Stats    Stats           `json:"stats"`
-	Health   Health          `json:"health"`
-	Log      LogGauges       `json:"log"`
+	Stats  Stats  `json:"stats"`
+	Health Health `json:"health"`
+	// Log aggregates across the instance's logs (sums for the position
+	// counters, max for occupancy); on single-log instances it is exactly
+	// log 0's gauges, byte-for-byte what pre-multi-log consumers read.
+	Log LogGauges `json:"log"`
+	// Logs is the per-log breakdown, one entry per conflict class.
+	Logs     []LogGauges     `json:"logs,omitempty"`
 	Replicas []ReplicaGauges `json:"replicas"`
 	// Persist carries the WAL's durability gauges, nil when the instance has
 	// no persistence attached (filled by the public nr layer, which owns the
@@ -107,9 +152,10 @@ func (i *Instance[O, R]) Metrics() Metrics {
 	return m
 }
 
-// MetricsInto fills m in place, reusing m.Replicas' capacity, so a caller
-// that polls on a cadence (the telemetry collector) does not allocate a
-// fresh snapshot every tick. observed=false skips the obs.Metrics summary
+// MetricsInto fills m in place, reusing m.Logs' and m.Replicas' capacity
+// (including each ReplicaGauges' nested Logs slice), so a caller that polls
+// on a cadence (the telemetry collector) does not allocate a fresh snapshot
+// every tick after the first. observed=false skips the obs.Metrics summary
 // (two histogram merges and a per-node slice) — the collector reads the
 // observer's raw buckets itself via obs.ReadCum and has no use for it.
 func (i *Instance[O, R]) MetricsInto(m *Metrics, observed bool) {
@@ -117,41 +163,96 @@ func (i *Instance[O, R]) MetricsInto(m *Metrics, observed bool) {
 	m.Health = i.health()
 	m.Persist = nil
 	m.Observed = nil
-	tail := i.log.Tail()
-	completed := i.log.Completed()
-	minTail := i.log.MinLocalTail()
-	size := i.log.Size()
-	occ := float64(tail-minTail) / float64(size)
-	if occ > 1 {
-		occ = 1 // racy reads can momentarily overshoot
+
+	nlogs := len(i.logs)
+	if cap(m.Logs) < nlogs {
+		m.Logs = make([]LogGauges, nlogs)
 	}
-	m.Log = LogGauges{
-		Tail:      tail,
-		Completed: completed,
-		MinTail:   minTail,
-		Size:      size,
-		Occupancy: occ,
-	}
-	now := time.Now().UnixNano()
-	m.Replicas = m.Replicas[:0]
-	for n, r := range i.replicas {
-		local := r.localTail.Load()
-		var lag uint64
-		if completed > local {
-			lag = completed - local
+	m.Logs = m.Logs[:nlogs]
+	var agg LogGauges
+	for c, l := range i.logs {
+		tail := l.Tail()
+		completed := l.Completed()
+		minTail := l.MinLocalTail()
+		size := l.Size()
+		occ := float64(tail-minTail) / float64(size)
+		if occ > 1 {
+			occ = 1 // racy reads can momentarily overshoot
 		}
+		m.Logs[c] = LogGauges{
+			Tail:      tail,
+			Completed: completed,
+			MinTail:   minTail,
+			Size:      size,
+			Occupancy: occ,
+		}
+		agg.Tail += tail
+		agg.Completed += completed
+		agg.MinTail += minTail
+		agg.Size += size
+		if occ > agg.Occupancy {
+			agg.Occupancy = occ
+		}
+	}
+	m.Log = agg
+
+	now := time.Now().UnixNano()
+	if cap(m.Replicas) < len(i.replicas) {
+		grown := make([]ReplicaGauges, len(i.replicas))
+		copy(grown, m.Replicas)
+		m.Replicas = grown
+	}
+	m.Replicas = m.Replicas[:len(i.replicas)]
+	for n, r := range i.replicas {
 		i.mu.Lock()
 		registered := r.registered
 		i.mu.Unlock()
-		m.Replicas = append(m.Replicas, ReplicaGauges{
-			Node:           n,
-			LocalTail:      local,
-			CompletedLag:   lag,
-			Registered:     registered,
-			CombinerHeldNs: int64(r.combinerLock.HeldFor(now)),
-			LingerWindowNs: r.lingerWindow.Load(),
-			ReaderAcquires: r.rw.ReaderAcquires(),
-		})
+		g := &m.Replicas[n]
+		if cap(g.Logs) < nlogs {
+			g.Logs = make([]ReplicaLogGauges, nlogs)
+		}
+		g.Logs = g.Logs[:nlogs]
+		var (
+			localSum, lagSum, racq, wacq uint64
+			heldMax, lingerMax           int64
+		)
+		for c := range r.logs {
+			lg := &r.logs[c]
+			local := lg.localTail.Load()
+			var lag uint64
+			if completed := m.Logs[c].Completed; completed > local {
+				lag = completed - local
+			}
+			held := int64(lg.combinerLock.HeldFor(now))
+			linger := lg.lingerWindow.Load()
+			g.Logs[c] = ReplicaLogGauges{
+				Log:            c,
+				LocalTail:      local,
+				CompletedLag:   lag,
+				CombinerHeldNs: held,
+				LingerWindowNs: linger,
+				Batches:        lg.batchDist.Count(),
+				BatchMean:      lg.batchDist.Mean(),
+			}
+			localSum += local
+			lagSum += lag
+			racq += lg.rw.ReaderAcquires()
+			wacq += lg.rw.WriterAcquires()
+			if held > heldMax {
+				heldMax = held
+			}
+			if linger > lingerMax {
+				lingerMax = linger
+			}
+		}
+		g.Node = n
+		g.LocalTail = localSum
+		g.CompletedLag = lagSum
+		g.Registered = registered
+		g.CombinerHeldNs = heldMax
+		g.LingerWindowNs = lingerMax
+		g.ReaderAcquires = racq
+		g.WriterAcquires = wacq
 	}
 	if observed {
 		if mo := obs.FindMetrics(i.opts.Observer); mo != nil {

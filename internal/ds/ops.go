@@ -103,11 +103,14 @@ func (p *HeapPQ) IsReadOnly(op PQOp) bool { return IsReadOnlyPQ(op) }
 // DictOpKind enumerates dictionary operations.
 type DictOpKind uint8
 
-// Dictionary operations (§8.1.3): insert(rnd,v), delete(rnd), lookup(rnd).
+// Dictionary operations (§8.1.3): insert(rnd,v), delete(rnd), lookup(rnd),
+// plus len() — the whole-structure read the multi-log tests use as their
+// cross-conflict-class operation (it observes every partition).
 const (
 	DictInsert DictOpKind = iota
 	DictDelete
 	DictLookup
+	DictLen
 )
 
 // DictOp is one dictionary operation.
@@ -124,7 +127,7 @@ type DictResult struct {
 }
 
 // IsReadOnlyDict reports whether op is read-only.
-func IsReadOnlyDict(op DictOp) bool { return op.Kind == DictLookup }
+func IsReadOnlyDict(op DictOp) bool { return op.Kind == DictLookup || op.Kind == DictLen }
 
 // SkipListDict adapts SkipList to the black-box dictionary contract.
 type SkipListDict struct {
@@ -150,12 +153,70 @@ func (d *SkipListDict) Execute(op DictOp) DictResult {
 	case DictLookup:
 		v, ok := d.sl.Get(op.Key)
 		return DictResult{Value: v, OK: ok}
+	case DictLen:
+		return DictResult{Value: uint64(d.sl.Len()), OK: true}
 	}
 	return DictResult{}
 }
 
 // IsReadOnly reports whether op is read-only.
 func (d *SkipListDict) IsReadOnly(op DictOp) bool { return IsReadOnlyDict(op) }
+
+// PartitionedDict is a dictionary split into independent skip-list
+// partitions by key, the canonical multi-log (CNR-style) structure: with
+// the matching DictClass mapper, operations in different conflict classes
+// touch disjoint partitions, so they commute AND tolerate concurrent
+// application against one replica — per-log combiners on the same node may
+// apply different classes' batches at the same time. DictLen spans every
+// partition and must therefore map to the cross-class sentinel.
+type PartitionedDict struct {
+	parts []*SkipListDict
+}
+
+// NewPartitionedDict returns an empty dictionary with parts partitions.
+// Every replica must be built with the same parts and seed.
+func NewPartitionedDict(parts int, seed uint64) *PartitionedDict {
+	if parts < 1 {
+		parts = 1
+	}
+	d := &PartitionedDict{parts: make([]*SkipListDict, parts)}
+	for i := range d.parts {
+		d.parts[i] = NewSkipListDict(seed + uint64(i))
+	}
+	return d
+}
+
+// DictClass returns the LogMapper function matching a PartitionedDict with
+// the given partition count: per-key operations map to their partition,
+// DictLen to -1 — the cross-class sentinel (nr.CrossLog / core.CrossLog).
+func DictClass(parts int) func(DictOp) int {
+	return func(op DictOp) int {
+		if op.Kind == DictLen {
+			return -1
+		}
+		return int(uint64(op.Key) % uint64(parts))
+	}
+}
+
+// Len returns the total element count across partitions.
+func (d *PartitionedDict) Len() int {
+	n := 0
+	for _, p := range d.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Execute applies op to its partition (or, for DictLen, across all).
+func (d *PartitionedDict) Execute(op DictOp) DictResult {
+	if op.Kind == DictLen {
+		return DictResult{Value: uint64(d.Len()), OK: true}
+	}
+	return d.parts[uint64(op.Key)%uint64(len(d.parts))].Execute(op)
+}
+
+// IsReadOnly reports whether op is read-only.
+func (d *PartitionedDict) IsReadOnly(op DictOp) bool { return IsReadOnlyDict(op) }
 
 // FastPathDict wraps SkipListDict with the §6 "fake update" optimization:
 // a delete of an absent key is first attempted as a read, so workloads full

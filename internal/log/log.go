@@ -163,6 +163,18 @@ func (l *Log[O]) TryReserve(n int) (uint64, bool) {
 // (Not //nr:spin: the tail CAS retry is a deliberate tight loop — backing
 // off would cede the reservation to the other node every time.)
 //
+// Wraparound audit (pinned by wrap_test.go): the space check and the tail
+// CAS read `start` from the same load, so a successful CAS proves the
+// check covered exactly the reserved interval [start, start+n); logMin is
+// monotone (refreshMin only CASes forward), so space observed free cannot
+// be retracted between check and CAS. Recycling an entry cannot race a
+// straggling replayer's read of the previous lap's op: the replayer
+// advances its localTail (release) only after reading, the reserver
+// observes it via refreshMin before the check passes, and Fill's plain
+// `e.op` store is therefore ordered after every read of the old value.
+// Readers that arrive late see the marker mismatch and treat the entry as
+// empty rather than reading a torn op.
+//
 //nr:noalloc
 func (l *Log[O]) TryReserveObserved(n int) (start uint64, casRetries int, ok bool) {
 	if n < 1 || uint64(n) > l.maxBatch {

@@ -29,12 +29,26 @@ func AppendMetrics(e *Exposition, m *core.Metrics) {
 	e.Counter("nr_reader_acquires_total", "Read-lock acquisitions across all replicas.", float64(m.Stats.ReaderAcquires))
 	e.Counter("nr_panics_total", "User Execute panics contained.", float64(m.Stats.Panics))
 	e.Counter("nr_stalls_total", "Combiner stalls flagged by the watchdog.", float64(m.Stats.Stalls))
+	e.Counter("nr_cross_ops_total", "Cross-conflict-class updates serialized through the ticket barrier.", float64(m.Stats.CrossOps))
+	e.Counter("nr_writer_acquires_total", "Replica writer-lock acquisitions across all replicas and logs.", float64(m.Stats.WriterAcquires))
 
-	e.Gauge("nr_log_tail", "Next unreserved absolute log index.", float64(m.Log.Tail))
-	e.Gauge("nr_log_completed", "Completed-tail log index.", float64(m.Log.Completed))
-	e.Gauge("nr_log_min_tail", "Smallest replica local tail (recyclable frontier).", float64(m.Log.MinTail))
-	e.Gauge("nr_log_size", "Shared log capacity in entries.", float64(m.Log.Size))
-	e.Gauge("nr_log_occupancy", "Fraction of the log holding entries some replica still needs.", m.Log.Occupancy)
+	e.Gauge("nr_log_tail", "Next unreserved absolute log index (sum over logs when multi-log).", float64(m.Log.Tail))
+	e.Gauge("nr_log_completed", "Completed-tail log index (sum over logs when multi-log).", float64(m.Log.Completed))
+	e.Gauge("nr_log_min_tail", "Smallest replica local tail (recyclable frontier; sum over logs).", float64(m.Log.MinTail))
+	e.Gauge("nr_log_size", "Shared log capacity in entries (sum over logs).", float64(m.Log.Size))
+	e.Gauge("nr_log_occupancy", "Fraction of the log holding entries some replica still needs (max over logs).", m.Log.Occupancy)
+
+	// Per-conflict-class breakdown, only when the instance actually runs
+	// multiple logs: single-log expositions keep their pre-multi-log shape.
+	if len(m.Logs) > 1 {
+		for c, lg := range m.Logs {
+			log := Label{"log", strconv.Itoa(c)}
+			e.Gauge("nr_log_class_tail", "Next unreserved absolute index of one conflict class's log.", float64(lg.Tail), log)
+			e.Gauge("nr_log_class_completed", "Completed-tail index of one conflict class's log.", float64(lg.Completed), log)
+			e.Gauge("nr_log_class_min_tail", "Smallest replica local tail of one conflict class's log.", float64(lg.MinTail), log)
+			e.Gauge("nr_log_class_occupancy", "Occupancy of one conflict class's log.", lg.Occupancy, log)
+		}
+	}
 
 	poisoned := 0.0
 	if m.Health.Poisoned {
@@ -44,11 +58,19 @@ func AppendMetrics(e *Exposition, m *core.Metrics) {
 
 	for _, r := range m.Replicas {
 		node := Label{"node", strconv.Itoa(r.Node)}
-		e.Gauge("nr_replica_local_tail", "Next log index the replica will apply.", float64(r.LocalTail), node)
-		e.Gauge("nr_replica_completed_lag", "Completed entries the replica has not yet absorbed.", float64(r.CompletedLag), node)
+		e.Gauge("nr_replica_local_tail", "Next log index the replica will apply (sum over logs).", float64(r.LocalTail), node)
+		e.Gauge("nr_replica_completed_lag", "Completed entries the replica has not yet absorbed (sum over logs).", float64(r.CompletedLag), node)
 		e.Gauge("nr_replica_registered", "Handles bound to the replica's node.", float64(r.Registered), node)
 		e.Gauge("nr_replica_reader_acquires", "Cumulative read-lock acquisitions on the replica.", float64(r.ReaderAcquires), node)
-		e.Gauge("nr_replica_linger_window_ns", "Current adaptive linger window, nanoseconds.", float64(r.LingerWindowNs), node)
+		e.Gauge("nr_replica_writer_acquires", "Cumulative writer-lock acquisitions on the replica (batch-replay witness).", float64(r.WriterAcquires), node)
+		e.Gauge("nr_replica_linger_window_ns", "Current adaptive linger window, nanoseconds (max over logs).", float64(r.LingerWindowNs), node)
+		if len(r.Logs) > 1 {
+			for _, lg := range r.Logs {
+				nl := []Label{node, {"log", strconv.Itoa(lg.Log)}}
+				e.Gauge("nr_replica_log_local_tail", "Next index the replica will apply from one conflict class's log.", float64(lg.LocalTail), nl...)
+				e.Gauge("nr_replica_log_completed_lag", "Completed entries of one class the replica has not absorbed.", float64(lg.CompletedLag), nl...)
+			}
+		}
 	}
 
 	if p := m.Persist; p != nil {

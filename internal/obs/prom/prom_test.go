@@ -30,11 +30,24 @@ func buildExposition() *Exposition {
 			ReadOps: 1100000, UpdateOps: 140000, Combines: 9000, CombinedOps: 131000,
 			ReaderRefreshes: 2500, HelpedEntries: 1200, ParallelOps: 700,
 			ReaderAcquires: 180000, Panics: 1, Stalls: 2,
+			CrossOps: 450, WriterAcquires: 12000,
 		},
 		Log: core.LogGauges{Tail: 5000, Completed: 4990, MinTail: 4800, Size: 65536, Occupancy: 0.003},
+		Logs: []core.LogGauges{
+			{Tail: 3000, Completed: 2995, MinTail: 2900, Size: 32768, Occupancy: 0.003},
+			{Tail: 2000, Completed: 1995, MinTail: 1900, Size: 32768, Occupancy: 0.002},
+		},
 		Replicas: []core.ReplicaGauges{
-			{Node: 0, LocalTail: 4995, CompletedLag: 2, Registered: 4, ReaderAcquires: 95000, LingerWindowNs: 15000},
-			{Node: 1, LocalTail: 4983, CompletedLag: 7, Registered: 4, ReaderAcquires: 85000, LingerWindowNs: 11000},
+			{Node: 0, LocalTail: 4995, CompletedLag: 2, Registered: 4, ReaderAcquires: 95000,
+				WriterAcquires: 6500, LingerWindowNs: 15000, Logs: []core.ReplicaLogGauges{
+					{Log: 0, LocalTail: 2998, CompletedLag: 1},
+					{Log: 1, LocalTail: 1997, CompletedLag: 1},
+				}},
+			{Node: 1, LocalTail: 4983, CompletedLag: 7, Registered: 4, ReaderAcquires: 85000,
+				WriterAcquires: 5500, LingerWindowNs: 11000, Logs: []core.ReplicaLogGauges{
+					{Log: 0, LocalTail: 2990, CompletedLag: 5},
+					{Log: 1, LocalTail: 1993, CompletedLag: 2},
+				}},
 		},
 		Persist: &core.PersistGauges{
 			Appends: 140000, Pages: 3000, Fsyncs: 321, FsyncNanos: 640000000,

@@ -49,6 +49,12 @@ type Lock interface {
 	// state (Centralized) report 0 rather than put an atomic counter on
 	// the shared read path.
 	ReaderAcquires() uint64
+	// WriterAcquires returns the cumulative number of write-mode
+	// acquisitions (Lock plus successful TryLock). Writers are already
+	// serialized on the writer flag, so the count costs one uncontended
+	// atomic add per acquisition; NR's replay paths use it to prove they
+	// take the replica lock once per batch, not once per entry.
+	WriterAcquires() uint64
 }
 
 // padded is one per-reader flag on its own cache line (size checked by
@@ -74,9 +80,12 @@ type padded struct {
 // with NR only the combiner writes and it has substantial work outside the
 // critical section (§5.5).
 type Distributed struct {
+	// writerAcq rides the writer flag's cache line: both are written only
+	// by the (single) active writer, so the counter adds no new sharing.
+	writerAcq atomic.Uint64
 	//nr:cacheline
 	writer  atomic.Int32
-	_       [60]byte
+	_       [52]byte
 	readers []padded
 	// onWriterWait, when set, observes write acquisitions that spun on
 	// reader flags (NR's observability layer). Written before sharing.
@@ -179,6 +188,7 @@ func (l *Distributed) Lock() {
 		runtime.Gosched()
 	}
 	l.waitReaders()
+	l.writerAcq.Add(1)
 }
 
 // Unlock releases write mode.
@@ -193,14 +203,22 @@ func (l *Distributed) TryLock() bool {
 		return false
 	}
 	l.waitReaders()
+	l.writerAcq.Add(1)
 	return true
 }
+
+// WriterAcquires returns the cumulative write-mode acquisition count.
+func (l *Distributed) WriterAcquires() uint64 { return l.writerAcq.Load() }
 
 // Centralized adapts sync.RWMutex to the slot-based interface. It is the
 // "standard readers-writer lock" baseline the ablation study compares
 // against (Fig. 13, technique #5).
 type Centralized struct {
 	mu sync.RWMutex
+	// writerAcq counts write acquisitions. Unlike the read path (see
+	// ReaderAcquires), the write side is already exclusive, so one atomic
+	// add does not distort the baseline being measured.
+	writerAcq atomic.Uint64
 }
 
 // NewCentralized returns a centralized readers-writer lock.
@@ -228,10 +246,19 @@ func (l *Centralized) RUnlock(int) { l.mu.RUnlock() }
 // Lock acquires write mode.
 //
 //nr:blockok ablation baseline (see RLock)
-func (l *Centralized) Lock() { l.mu.Lock() }
+func (l *Centralized) Lock() {
+	l.mu.Lock()
+	l.writerAcq.Add(1)
+}
 
 // TryLock attempts write mode without blocking.
-func (l *Centralized) TryLock() bool { return l.mu.TryLock() }
+func (l *Centralized) TryLock() bool {
+	if !l.mu.TryLock() {
+		return false
+	}
+	l.writerAcq.Add(1)
+	return true
+}
 
 // Unlock releases write mode.
 func (l *Centralized) Unlock() { l.mu.Unlock() }
@@ -244,6 +271,9 @@ func (l *Centralized) SetWriterWaitHook(func(spins int)) {}
 // would itself need a shared atomic on the read path, distorting the very
 // baseline this lock exists to measure (like RLockObserved's 0 spins).
 func (l *Centralized) ReaderAcquires() uint64 { return 0 }
+
+// WriterAcquires returns the cumulative write-mode acquisition count.
+func (l *Centralized) WriterAcquires() uint64 { return l.writerAcq.Load() }
 
 // SpinMutex is a test-and-test-and-set spinlock: the "one big lock" (SL)
 // baseline of Fig. 4 and the combiner lock inside NR.

@@ -160,15 +160,31 @@ func (k Kind) String() string {
 // Token packs an operation identity: the submitting handle's (node,
 // combining slot) and its per-handle sequence number. Tokens let events
 // recorded by different goroutines — submitter, combiner, helper — be
-// reassembled into one span.
+// reassembled into one span. Token is TokenWithLog at log index 0, so
+// single-log instances produce exactly the token values they always did.
 func Token(node, slot int, seq uint32) uint64 {
-	return uint64(uint16(node))<<48 | uint64(uint16(slot))<<32 | uint64(seq)
+	return TokenWithLog(0, node, slot, seq)
 }
 
-// TokenParts unpacks a Token.
-func TokenParts(tok uint64) (node, slot int, seq uint32) {
-	return int(tok >> 48), int(uint16(tok >> 32)), uint32(tok)
+// TokenWithLog packs an operation identity that additionally carries the
+// shared-log index the operation was appended to (multi-log NR): 6 bits of
+// log index above 10 bits of node, then slot and sequence as in Token. Log
+// index 0 yields the same value as Token, which keeps persisted tokens and
+// single-log trace joins stable.
+func TokenWithLog(logIdx, node, slot int, seq uint32) uint64 {
+	return uint64(logIdx&0x3f)<<58 | uint64(node&0x3ff)<<48 |
+		uint64(uint16(slot))<<32 | uint64(seq)
 }
+
+// TokenParts unpacks a Token's node, slot and sequence (log-index bits are
+// masked off; use TokenLog for the log).
+func TokenParts(tok uint64) (node, slot int, seq uint32) {
+	return int(tok>>48) & 0x3ff, int(uint16(tok >> 32)), uint32(tok)
+}
+
+// TokenLog unpacks the log index a TokenWithLog-packed token carries (0 for
+// plain Token values).
+func TokenLog(tok uint64) int { return int(tok >> 58) }
 
 // Event is one decoded recorder entry.
 type Event struct {

@@ -92,12 +92,74 @@ type Option func(*settings)
 // settings accumulates option state before it is lowered to core.Options.
 type settings struct {
 	cfg           Config
+	logs          int
+	mapper        any // func(O) int, type-checked by core.New
 	observers     []obs.Observer
 	metrics       bool
 	trace         *trace.Recorder
 	persist       *persistConfig
 	persistTuning []PersistOption
 	telemetry     *telemetryConfig
+}
+
+// CrossLog is the LogMapper sentinel for operations that touch more than one
+// conflict class. Such operations serialize through log 0 behind a ticket
+// barrier appended to every other log, so all replicas apply them at the
+// same point relative to every class's history (DESIGN.md §16).
+const CrossLog = core.CrossLog
+
+// LogMapper assigns every operation a conflict class for a multi-log
+// instance (WithLogs): a log index in [0, m), or CrossLog for operations
+// spanning classes. The contract, on which linearizability rests:
+//
+//   - LogIndex must be a pure function of the operation (every replica must
+//     agree on each op's class).
+//   - Operations mapped to different classes must commute: executing them in
+//     either order yields the same structure state and the same responses.
+//   - The sequential structure must tolerate operations of different classes
+//     being applied to one replica in different interleavings than another
+//     replica saw (which commutativity makes semantically invisible).
+//
+// CheckMapperCommutes probes a mapper against its structure; the multi-log
+// fuzz tests in this repo show the pattern. Partitioned structures (one
+// sub-structure per class, class = hash(key) mod m) satisfy the contract by
+// construction.
+type LogMapper[O any] interface {
+	LogIndex(op O) int
+}
+
+// LogMapperFunc adapts a plain function to the LogMapper interface.
+type LogMapperFunc[O any] func(O) int
+
+// LogIndex implements LogMapper.
+func (f LogMapperFunc[O]) LogIndex(op O) int { return f(op) }
+
+// WithLogs partitions the instance across m shared logs (multi-log NR,
+// DESIGN.md §16): mapper assigns every operation a conflict class, each
+// class gets its own log with independent per-node combining and replay,
+// and a reader waits only on the log its class maps to — update throughput
+// inside one linearizable instance scales with the number of classes that
+// are actually contended. m = 1 (mapper ignored, may be nil) is exactly the
+// classic single-log instance.
+//
+// WithLogs is a generic function, so it cannot be inferred from New's
+// create argument; instantiate it with the operation type:
+//
+//	inst, err := nr.New(create, nr.WithLogs[Op](4, nr.LogMapperFunc[Op](classOf)))
+//
+// Multi-log instances reject the single-log ablation knobs and persistence
+// (per-log WALs need a cross-log recovery barrier, ROADMAP item 5), and
+// require a non-nil mapper. Misrouted classes outside [0, m) are folded
+// into range rather than trusted.
+func WithLogs[O any](m int, mapper LogMapper[O]) Option {
+	return func(s *settings) {
+		s.logs = m
+		if mapper == nil {
+			s.mapper = nil
+			return
+		}
+		s.mapper = func(op O) int { return mapper.LogIndex(op) }
+	}
 }
 
 // WithConfig applies an entire Config struct, exactly as the pre-options
@@ -291,6 +353,8 @@ func (s *settings) lower() core.Options {
 	cfg := s.cfg
 	opts := core.Options{
 		LogEntries:         cfg.LogEntries,
+		Logs:               s.logs,
+		LogMapper:          s.mapper,
 		MinBatch:           cfg.MinBatch,
 		Batch:              cfg.Batch,
 		DedicatedCombiners: cfg.DedicatedCombiners,
@@ -330,6 +394,11 @@ func New[O, R any](create func() Sequential[O, R], options ...Option) (*Instance
 	var s settings
 	for _, o := range options {
 		o(&s)
+	}
+	if s.persist != nil && s.logs > 1 {
+		// Fail before building anything: per-log WALs lack the cross-log
+		// recovery generations recovery would need (ROADMAP item 5).
+		return nil, errors.New("nr: WithLogs(m > 1) cannot be combined with persistence; per-log WALs lack a cross-log recovery barrier")
 	}
 	inner, err := core.New[O, R](func() core.Sequential[O, R] { return create() }, s.lower())
 	if err != nil {
@@ -381,6 +450,10 @@ func (i *Instance[O, R]) RegisterOnNode(node int) (*Handle[O, R], error) {
 
 // Replicas returns the number of per-node replicas.
 func (i *Instance[O, R]) Replicas() int { return i.inner.Replicas() }
+
+// Logs returns the number of shared logs (conflict classes): 1 for a
+// classic instance, WithLogs' m otherwise.
+func (i *Instance[O, R]) Logs() int { return i.inner.Logs() }
 
 // Metrics returns the unified observability snapshot: Stats counters,
 // Health failure state, live gauges for log occupancy and per-replica
@@ -501,9 +574,9 @@ func (h *Handle[O, R]) Node() int { return h.inner.Node() }
 func (h *Handle[O, R]) PostAndAbandon(op O) { h.inner.PostAndAbandon(op) }
 
 // LastToken identifies the most recent operation submitted through this
-// handle: the flight-recorder token (node | combining slot | per-slot
-// sequence number) that also travels with the op into the write-ahead log
-// on persistent instances. Capture it after Execute/TryExecute/
+// handle: the flight-recorder token (log index | node | combining slot |
+// per-slot sequence number) that also travels with the op into the
+// write-ahead log on persistent instances. Capture it after Execute/TryExecute/
 // PostAndAbandon returns and, after a crash, ask
 // Recovered.WasExecuted(token) whether that operation survived.
 func (h *Handle[O, R]) LastToken() uint64 { return h.inner.LastToken() }
